@@ -1,0 +1,85 @@
+"""Extension ablation — incremental vs. full re-checking in the data plane verifier.
+
+Not a paper figure: this benchmark quantifies the design choice behind the
+VeriFlow-style extension (`repro.dpverify`), which re-checks only the
+equivalence classes overlapping a changed rule.  The alternative — re-checking
+every covered class on every update — is what the incremental design avoids,
+and the gap grows with the number of installed prefixes, mirroring the
+argument the original VeriFlow paper makes and that Plankton §3.1 builds on.
+"""
+
+import pytest
+
+from repro.config import ospf_everywhere
+from repro.config.builder import edge_prefix
+from repro.core.options import PlanktonOptions
+from repro.core.verifier import Plankton
+from repro.dpverify import IncrementalDataPlaneVerifier, LoopFree, NoBlackHole, forward
+from repro.policies import LoopFreedom
+from repro.topology import fat_tree
+
+ARITY = 6  # 45 devices, 18 rack prefixes.
+
+
+def _populated_monitor():
+    """A monitor holding the converged FIBs of every rack prefix of the fat tree."""
+    network = ospf_everywhere(fat_tree(ARITY))
+    result = Plankton(
+        network, PlanktonOptions(keep_data_planes=True, stop_at_first_violation=False)
+    ).verify(LoopFreedom())
+    monitor = IncrementalDataPlaneVerifier(
+        network.topology.nodes, [LoopFree(), NoBlackHole()]
+    )
+    for run in result.pec_runs:
+        for data_plane in run.data_planes:
+            for device in data_plane.devices():
+                for entry in data_plane.fib(device).entries():
+                    from repro.dpverify.verifier import _entry_to_rule
+
+                    monitor._table(device).install(_entry_to_rule(device, entry))
+    monitor._classes = None
+    return monitor
+
+
+def test_incremental_update_check(benchmark, reporter):
+    monitor = _populated_monitor()
+    update = forward("agg1_0", str(edge_prefix(0, 0)), "edge1_0", priority=10)
+
+    def update_and_revert():
+        report = monitor.install(update)
+        monitor.remove(update)
+        return report
+
+    report = benchmark(update_and_revert)
+    reporter(
+        "ext-dpverify",
+        f"incremental: rules={len(monitor.rules())} classes_checked={report.classes_checked} "
+        f"violations={len(report.violations)}",
+    )
+    assert report.classes_checked <= 2
+
+
+def test_full_recheck_baseline(benchmark, reporter):
+    monitor = _populated_monitor()
+    report = benchmark(monitor.check_all)
+    reporter(
+        "ext-dpverify",
+        f"full-recheck: rules={len(monitor.rules())} classes_checked={report.classes_checked} "
+        f"violations={len(report.violations)}",
+    )
+    assert report.holds
+    assert report.classes_checked > 2
+
+
+def test_incremental_is_cheaper_than_full(reporter):
+    monitor = _populated_monitor()
+    update = forward("agg1_0", str(edge_prefix(0, 0)), "edge1_0", priority=10)
+    incremental = monitor.install(update)
+    monitor.remove(update)
+    full = monitor.check_all()
+    reporter(
+        "ext-dpverify",
+        f"classes: incremental={incremental.classes_checked} full={full.classes_checked} "
+        f"ratio={full.classes_checked / max(1, incremental.classes_checked):.0f}x",
+    )
+    assert incremental.classes_checked < full.classes_checked

@@ -1,0 +1,74 @@
+"""Figure 7(a) — fat trees with OSPF, loop policy: Plankton vs Minesweeper-like.
+
+Paper: fat trees K=10/12/14, loop policy with pass and fail variants (static
+routes at the core either match OSPF or create a loop); Plankton beats
+Minesweeper by orders of magnitude and the gap grows with size.
+
+Reproduction: fat trees k=4/6/8 (20/45/80 devices), same pass/fail
+construction, Plankton vs the SAT-based Minesweeper-like baseline (run on the
+smallest size only for the fail variant — it already shows the scaling gap).
+"""
+
+import pytest
+
+from repro import Plankton, PlanktonOptions
+from repro.baselines import MinesweeperVerifier
+from repro.config import ospf_everywhere
+from repro.config.builder import edge_prefix, install_loop_inducing_statics
+from repro.policies import LoopFreedom
+from repro.topology import fat_tree
+
+ARITIES = [4, 6, 8]
+
+
+def _network(k, induce_loop):
+    network = ospf_everywhere(fat_tree(k))
+    if induce_loop:
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 0), ["agg1_0", "edge1_0", "agg1_1", "edge1_1"]
+        )
+    return network
+
+
+@pytest.mark.parametrize("k", ARITIES)
+@pytest.mark.parametrize("variant", ["pass", "fail"])
+def test_plankton_loop_check(benchmark, reporter, k, variant):
+    network = _network(k, induce_loop=variant == "fail")
+    verifier = Plankton(network, PlanktonOptions())
+
+    result = benchmark.pedantic(verifier.verify, args=(LoopFreedom(),), rounds=1, iterations=1)
+    reporter(
+        "fig7a",
+        f"k={k} ({len(network.topology)} devices) variant={variant} plankton "
+        f"time={result.elapsed_seconds:.3f}s states={result.total_states_expanded} "
+        f"verdict={'pass' if result.holds else 'fail'}",
+    )
+    assert result.holds == (variant == "pass")
+
+
+@pytest.mark.parametrize("variant", ["pass", "fail"])
+def test_minesweeper_loop_check_smallest(benchmark, reporter, variant):
+    k = 4
+    network = _network(k, induce_loop=variant == "fail")
+    verifier = MinesweeperVerifier(network)
+    prefix = edge_prefix(0, 0)
+
+    result = benchmark.pedantic(verifier.check_loop_freedom, args=(prefix,), rounds=1, iterations=1)
+    reporter(
+        "fig7a",
+        f"k={k} variant={variant} minesweeper time={result.elapsed_seconds:.3f}s "
+        f"vars={result.variables} clauses={result.clauses} "
+        f"verdict={'pass' if result.holds else 'fail'}",
+    )
+    assert result.holds == (variant == "pass")
+
+
+def test_speedup_summary(reporter):
+    """Plankton vs the constraint baseline on the common (k=4) case."""
+    network = _network(4, induce_loop=True)
+    plankton = Plankton(network, PlanktonOptions()).verify(LoopFreedom())
+    minesweeper = MinesweeperVerifier(network).check_loop_freedom(edge_prefix(0, 0))
+    speedup = minesweeper.elapsed_seconds / max(plankton.elapsed_seconds, 1e-9)
+    reporter("fig7a", f"k=4 fail-variant speedup(plankton vs minesweeper)={speedup:.0f}x")
+    assert plankton.holds == minesweeper.holds is False
+    assert speedup > 1.0

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``repro`` package importable from a source checkout even when the
+package has not been pip-installed (offline environments without the ``wheel``
+package cannot build PEP 660 editable installs).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,432 @@
+"""Command-line interface to the Plankton reproduction.
+
+The CLI mirrors how configuration verifiers are run in practice: the operator
+points the tool at a topology file and the device configurations, names the
+policy to check and the failure environment, and reads a verdict plus a
+counterexample trail when the check fails.
+
+Subcommands:
+
+``verify``
+    Run the Plankton verifier against one or more policies.  Exit code 0 when
+    every policy holds, 1 when a violation is found, 2 on input errors.
+
+``pecs``
+    Print the Packet Equivalence Class partition and the PEC dependency graph
+    (paper §3.1/§3.2) without running any verification.
+
+``simulate``
+    Run the Batfish-style single-execution simulation and dump the resulting
+    FIBs — useful to inspect what "the" converged data plane looks like, with
+    the usual caveat that other convergences may exist.
+
+``trace``
+    Follow the forwarding branches of one packet (source device + destination
+    address) through the simulated data plane.
+
+Examples::
+
+    python -m repro verify --topology campus.topo --config campus.cfg \\
+        --policy reachability --sources acc0,acc1 --max-failures 1
+    python -m repro pecs --topology campus.topo --config campus.cfg
+    python -m repro trace --topology campus.topo --config campus.cfg \\
+        --source acc0 --destination 10.1.0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path as FilePath
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.simulation import SimulationVerifier
+from repro.config.objects import NetworkConfig
+from repro.config.parser import parse_config, parse_device_config
+from repro.core.options import OptimizationFlags, PlanktonOptions
+from repro.core.verifier import Plankton
+from repro.dataplane.forwarding import trace_paths
+from repro.exceptions import ReproError
+from repro.netaddr import Prefix, ip_to_int
+from repro.pec.classes import compute_pecs
+from repro.pec.dependencies import build_dependency_graph
+from repro.policies import (
+    BlackHoleFreedom,
+    BoundedPathLength,
+    LoopFreedom,
+    MultipathConsistency,
+    PathConsistency,
+    Policy,
+    Reachability,
+    Segmentation,
+    Waypoint,
+)
+from repro.topology.io import load_topology
+
+#: Exit codes (documented in ``docs/cli.md``).
+EXIT_HOLDS = 0
+EXIT_VIOLATION = 1
+EXIT_ERROR = 2
+
+
+class CliError(ReproError):
+    """Raised for bad command-line input; reported without a traceback."""
+
+
+# --------------------------------------------------------------------------- input loading
+def _load_network(args: argparse.Namespace) -> NetworkConfig:
+    """Build the :class:`NetworkConfig` named by ``--topology`` and ``--config``/``--config-dir``."""
+    topology = load_topology(args.topology)
+    if getattr(args, "config", None):
+        text = FilePath(args.config).read_text()
+        return parse_config(topology, text)
+    if getattr(args, "config_dir", None):
+        directory = FilePath(args.config_dir)
+        if not directory.is_dir():
+            raise CliError(f"--config-dir {directory} is not a directory")
+        network = NetworkConfig(topology)
+        config_files = sorted(directory.glob("*.cfg"))
+        if not config_files:
+            raise CliError(f"no *.cfg files in {directory}")
+        for config_file in config_files:
+            device_name = config_file.stem
+            if device_name not in topology:
+                raise CliError(
+                    f"config file {config_file.name} does not match any topology device"
+                )
+            network.set_device(parse_device_config(device_name, config_file.read_text()))
+        network.validate()
+        return network
+    raise CliError("one of --config or --config-dir is required")
+
+
+def _split_list(value: Optional[str]) -> List[str]:
+    """Split a comma-separated CLI value, dropping empty entries."""
+    if not value:
+        return []
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _parse_destination_prefix(value: Optional[str]) -> Optional[Prefix]:
+    if value is None:
+        return None
+    text = value if "/" in value else value + "/32"
+    try:
+        return Prefix(text)
+    except Exception as exc:
+        raise CliError(f"bad destination prefix {value!r}: {exc}") from exc
+
+
+def _build_policy(args: argparse.Namespace, network: NetworkConfig) -> Policy:
+    """Instantiate the policy selected by ``--policy`` and its options."""
+    sources = _split_list(args.sources)
+    waypoints = _split_list(args.waypoints)
+    destination = _parse_destination_prefix(args.destination_prefix)
+    for name in sources + waypoints:
+        if name not in network.topology:
+            raise CliError(f"unknown device {name!r} in --sources/--waypoints")
+
+    protected = _split_list(getattr(args, "protected", None))
+    for name in protected:
+        if name not in network.topology:
+            raise CliError(f"unknown device {name!r} in --protected")
+
+    kind = args.policy
+    if kind == "segmentation":
+        if not sources or not protected:
+            raise CliError("--policy segmentation requires --sources and --protected")
+        return Segmentation(sources=sources, protected=protected, destination_prefix=destination)
+    if kind == "reachability":
+        return Reachability(
+            sources=sources or None,
+            destination_prefix=destination,
+            require_all_branches=not args.any_branch,
+        )
+    if kind == "loop":
+        return LoopFreedom(destination_prefix=destination)
+    if kind == "blackhole":
+        return BlackHoleFreedom(
+            destination_prefix=destination,
+            only_on_paths_from=sources or None,
+        )
+    if kind == "waypoint":
+        if not sources or not waypoints:
+            raise CliError("--policy waypoint requires --sources and --waypoints")
+        return Waypoint(sources=sources, waypoints=waypoints, destination_prefix=destination)
+    if kind == "bounded-path-length":
+        if args.max_hops is None:
+            raise CliError("--policy bounded-path-length requires --max-hops")
+        return BoundedPathLength(
+            max_hops=args.max_hops, sources=sources or None, destination_prefix=destination
+        )
+    if kind == "multipath-consistency":
+        return MultipathConsistency(sources=sources or None, destination_prefix=destination)
+    if kind == "path-consistency":
+        if len(sources) < 2:
+            raise CliError("--policy path-consistency requires at least two --sources devices")
+        return PathConsistency(device_group=sources, destination_prefix=destination)
+    raise CliError(f"unknown policy {kind!r}")
+
+
+def _build_options(args: argparse.Namespace) -> PlanktonOptions:
+    flags = OptimizationFlags.none_enabled() if args.no_optimizations else OptimizationFlags()
+    return PlanktonOptions(
+        max_failures=args.max_failures,
+        cores=args.cores,
+        stop_at_first_violation=not args.all_violations,
+        optimizations=flags,
+    )
+
+
+# --------------------------------------------------------------------------- subcommands
+def _cmd_verify(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    policy = _build_policy(args, network)
+    options = _build_options(args)
+    result = Plankton(network, options).verify(policy)
+
+    if args.report:
+        from repro.reporting import write_report
+
+        write_report(result, args.report, title=f"{policy.name} on {network.topology.name}")
+
+    if args.json:
+        document = {
+            "holds": result.holds,
+            "policy": policy.name,
+            "pecs_analyzed": result.pecs_analyzed,
+            "failure_scenarios": result.failure_scenarios,
+            "converged_states": result.total_converged_states,
+            "states_expanded": result.total_states_expanded,
+            "elapsed_seconds": round(result.elapsed_seconds, 6),
+            "violations": [
+                {
+                    "policy": violation.policy,
+                    "pec": violation.pec_description,
+                    "failures": violation.failure_description,
+                    "message": violation.message,
+                }
+                for violation in result.violations
+            ],
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        print(result.summary())
+        for violation in result.violations:
+            print()
+            print(violation.render())
+    return EXIT_HOLDS if result.holds else EXIT_VIOLATION
+
+
+def _cmd_pecs(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    pecs = compute_pecs(network)
+    graph = build_dependency_graph(network, pecs)
+    print(f"{len(pecs)} packet equivalence class(es)")
+    for pec in pecs:
+        print(pec.describe())
+    print()
+    print("dependency graph (PEC index -> depends on):")
+    any_dependency = False
+    for pec in pecs:
+        dependencies = sorted(graph.dependencies_of(pec.index) - {pec.index})
+        if dependencies:
+            any_dependency = True
+            print(f"  {pec.index} -> {', '.join(str(d) for d in dependencies)}")
+    if not any_dependency:
+        print("  (no cross-PEC dependencies)")
+    sccs = [scc for scc in graph.strongly_connected_components() if len(scc) > 1]
+    if sccs:
+        print("strongly connected components larger than one PEC:")
+        for scc in sccs:
+            print(f"  {sorted(scc)}")
+    return EXIT_HOLDS
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    simulator = SimulationVerifier(network, seed=args.seed)
+    pecs = compute_pecs(network)
+    printed = 0
+    for pec in pecs:
+        if pec.is_empty:
+            continue
+        result = simulator.check(LoopFreedom(destination_prefix=pec.most_specific_prefix))
+        printed += 1
+        print(pec.describe())
+        explorer_result = _single_pec_data_plane(network, pec, args.seed)
+        print(explorer_result)
+        print()
+    if printed == 0:
+        print("no configured prefixes; nothing to simulate")
+    return EXIT_HOLDS
+
+
+def _single_pec_data_plane(network: NetworkConfig, pec, seed: int) -> str:
+    """One simulated converged data plane of ``pec``, rendered as text."""
+    from repro.core.network_model import DependencyContext, PecExplorer
+    from repro.protocols.spvp import SpvpSimulator
+    from repro.topology.failures import FailureScenario
+
+    explorer = PecExplorer(
+        network, pec, FailureScenario(), PlanktonOptions(), dependency_context=DependencyContext()
+    )
+    bgp_states: Dict = {}
+    for prefix, devices in pec.bgp_origins:
+        if not devices:
+            continue
+        instance = explorer.bgp_instance(prefix)
+        bgp_states[prefix] = SpvpSimulator(instance, seed=seed).run()
+    data_plane, _control = explorer.build_data_plane(bgp_states)
+    return data_plane.describe()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    if args.source not in network.topology:
+        raise CliError(f"unknown source device {args.source!r}")
+    try:
+        address = ip_to_int(args.destination)
+    except Exception as exc:
+        raise CliError(f"bad destination address {args.destination!r}: {exc}") from exc
+
+    pecs = compute_pecs(network, include_default=True)
+    target_pec = None
+    for pec in pecs:
+        if pec.address_range.contains_address(address):
+            target_pec = pec
+            break
+    if target_pec is None or target_pec.is_empty:
+        print(f"{args.destination}: no configured prefix covers this address; dropped everywhere")
+        return EXIT_HOLDS
+
+    print(f"destination {args.destination} falls into:")
+    print(target_pec.describe())
+    data_plane_text = _single_pec_data_plane(network, target_pec, args.seed)
+
+    from repro.core.network_model import DependencyContext, PecExplorer
+    from repro.protocols.spvp import SpvpSimulator
+    from repro.topology.failures import FailureScenario
+
+    explorer = PecExplorer(
+        network,
+        target_pec,
+        FailureScenario(),
+        PlanktonOptions(),
+        dependency_context=DependencyContext(),
+    )
+    bgp_states: Dict = {}
+    for prefix, devices in target_pec.bgp_origins:
+        if not devices:
+            continue
+        instance = explorer.bgp_instance(prefix)
+        bgp_states[prefix] = SpvpSimulator(instance, seed=args.seed).run()
+    data_plane, _control = explorer.build_data_plane(bgp_states)
+
+    print()
+    print(f"forwarding branches from {args.source}:")
+    for branch in trace_paths(data_plane, args.source, address):
+        print(f"  {branch.describe()}")
+    if args.show_fibs:
+        print()
+        print(data_plane_text)
+    return EXIT_HOLDS
+
+
+# --------------------------------------------------------------------------- argument parsing
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", required=True, help="topology file (.topo text or .json)")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--config", help="multi-device configuration file (DSL)")
+    group.add_argument(
+        "--config-dir", help="directory of per-device <device>.cfg configuration files"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and documentation tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plankton-style network configuration verification",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser("verify", help="verify a policy over all converged data planes")
+    _add_input_arguments(verify)
+    verify.add_argument(
+        "--policy",
+        required=True,
+        choices=[
+            "reachability",
+            "loop",
+            "blackhole",
+            "waypoint",
+            "segmentation",
+            "bounded-path-length",
+            "multipath-consistency",
+            "path-consistency",
+        ],
+    )
+    verify.add_argument("--sources", help="comma-separated source devices")
+    verify.add_argument("--waypoints", help="comma-separated waypoint devices")
+    verify.add_argument("--protected", help="comma-separated protected devices (segmentation)")
+    verify.add_argument("--destination-prefix", help="restrict the check to one destination prefix")
+    verify.add_argument("--max-hops", type=int, help="hop budget for bounded-path-length")
+    verify.add_argument(
+        "--any-branch",
+        action="store_true",
+        help="reachability: accept delivery on any ECMP branch instead of all branches",
+    )
+    verify.add_argument("--max-failures", type=int, default=0, help="link-failure budget")
+    verify.add_argument("--cores", type=int, default=1, help="worker processes for independent PECs")
+    verify.add_argument(
+        "--all-violations",
+        action="store_true",
+        help="keep searching after the first violation",
+    )
+    verify.add_argument(
+        "--no-optimizations",
+        action="store_true",
+        help="disable the §4 optimizations (naive model checking; for ablation only)",
+    )
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+    verify.add_argument(
+        "--report",
+        help="also write a report file (.json for structured output, anything else for Markdown)",
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    pecs = subparsers.add_parser("pecs", help="show packet equivalence classes and dependencies")
+    _add_input_arguments(pecs)
+    pecs.set_defaults(handler=_cmd_pecs)
+
+    simulate = subparsers.add_parser("simulate", help="single-execution simulation; dump FIBs")
+    _add_input_arguments(simulate)
+    simulate.add_argument("--seed", type=int, default=0, help="message-ordering seed")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = subparsers.add_parser("trace", help="trace one packet through the simulated data plane")
+    _add_input_arguments(trace)
+    trace.add_argument("--source", required=True, help="source device")
+    trace.add_argument("--destination", required=True, help="destination IPv4 address")
+    trace.add_argument("--seed", type=int, default=0, help="message-ordering seed")
+    trace.add_argument("--show-fibs", action="store_true", help="also dump the simulated FIBs")
+    trace.set_defaults(handler=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except (CliError, ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

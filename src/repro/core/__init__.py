@@ -1,0 +1,15 @@
+"""Plankton core: the configuration verifier built on PECs + model checking."""
+
+from repro.core.options import OptimizationFlags, PlanktonOptions
+from repro.core.results import PecRunResult, VerificationResult, Violation
+from repro.core.verifier import Plankton, verify
+
+__all__ = [
+    "OptimizationFlags",
+    "PlanktonOptions",
+    "PecRunResult",
+    "VerificationResult",
+    "Violation",
+    "Plankton",
+    "verify",
+]

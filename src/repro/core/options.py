@@ -1,0 +1,104 @@
+"""Verifier options and optimization flags.
+
+Every optimization of paper §4 can be toggled individually so the Figure 8
+ablation experiments (and curious users) can measure its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Switches for the §4 optimizations.
+
+    Attributes:
+        consistent_execution: §4.1.1 — explore only executions where a node
+            never changes a selected best path.
+        deterministic_nodes: §4.1.2 — when a node has a guaranteed winning
+            update, execute it without branching over other enabled nodes.
+        decision_independence: §4.1.3 — when groups of undecided nodes cannot
+            influence each other, fix an arbitrary order between the groups.
+        failure_ordering: §4.1.4 — apply failures before protocol execution
+            and in one canonical order only (always on in this reproduction;
+            the flag is kept for reporting).
+        policy_based_pruning: §4.2 — stop an execution once every policy
+            source node has decided, and skip converged states whose
+            policy-visible signature was already checked.
+        failure_equivalence: §4.3 — only fail one representative link per
+            Link Equivalence Class (Bonsai-style DEC/LEC reduction).
+        state_hashing: §4.4 — intern per-node routing entries and represent
+            visited states as tuples of entry ids.
+        bitstate_hashing: §5/Figure 9 — track visited states in a Bloom
+            filter instead of an exact set (reduced coverage, less memory).
+    """
+
+    consistent_execution: bool = True
+    deterministic_nodes: bool = True
+    decision_independence: bool = True
+    failure_ordering: bool = True
+    policy_based_pruning: bool = True
+    failure_equivalence: bool = True
+    state_hashing: bool = True
+    bitstate_hashing: bool = False
+
+    @staticmethod
+    def all_enabled() -> "OptimizationFlags":
+        """Every optimization on (the paper's default configuration)."""
+        return OptimizationFlags()
+
+    @staticmethod
+    def none_enabled() -> "OptimizationFlags":
+        """Naive model checking (the Figure 8 'None' rows)."""
+        return OptimizationFlags(
+            consistent_execution=False,
+            deterministic_nodes=False,
+            decision_independence=False,
+            failure_ordering=True,
+            policy_based_pruning=False,
+            failure_equivalence=False,
+            state_hashing=False,
+            bitstate_hashing=False,
+        )
+
+    def without(self, **disabled: bool) -> "OptimizationFlags":
+        """A copy with the named optimizations turned off.
+
+        Example: ``flags.without(deterministic_nodes=True)`` disables the
+        deterministic-node detection, keeping everything else.
+        """
+        updates = {name: False for name, value in disabled.items() if value}
+        return replace(self, **updates)
+
+
+@dataclass
+class PlanktonOptions:
+    """Top-level verifier options."""
+
+    #: Maximum number of simultaneous link failures to consider (the
+    #: environment specification of §2).
+    max_failures: int = 0
+    #: Optimization switches.
+    optimizations: OptimizationFlags = field(default_factory=OptimizationFlags)
+    #: Worker processes for independent PEC runs (1 = serial).  The analyses
+    #: of independent PECs are embarrassingly parallel (paper §3.2).
+    cores: int = 1
+    #: Stop at the first policy violation (SPIN's default behaviour).
+    stop_at_first_violation: bool = True
+    #: Per-PEC state budget for the model checker.
+    max_states_per_pec: int = 2_000_000
+    #: Optional wall-clock budget per PEC exploration, seconds.
+    max_seconds_per_pec: Optional[float] = None
+    #: Use the cached SPF computation directly for PECs whose behaviour is
+    #: fully determined by OSPF + static routing (no BGP).  This is the limit
+    #: of what the deterministic-node reduction achieves on such PECs and
+    #: keeps the pure-Python prototype fast; set False to force every PEC
+    #: through the model checker.
+    fast_ospf: bool = True
+    #: Bits in the bitstate Bloom filter when bitstate hashing is enabled.
+    bitstate_bits: int = 1 << 22
+    #: Keep every converged data plane in the result (memory-hungry; mainly
+    #: for tests and for PECs that downstream PECs depend on).
+    keep_data_planes: bool = False

@@ -1,0 +1,99 @@
+"""Verification results: per-PEC run records and the aggregated verdict."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataplane import DataPlane
+from repro.modelcheck.explorer import ExplorationStatistics
+from repro.modelcheck.trail import Trail
+from repro.pec.classes import PacketEquivalenceClass
+from repro.topology.failures import FailureScenario
+
+
+@dataclass
+class Violation:
+    """One policy violation: which policy, where, and how to reproduce it."""
+
+    policy: str
+    pec_index: int
+    pec_description: str
+    failure_description: str
+    message: str
+    trail: Optional[Trail] = None
+
+    def render(self) -> str:
+        lines = [
+            f"policy    : {self.policy}",
+            f"PEC       : {self.pec_description}",
+            f"failures  : {self.failure_description}",
+            f"violation : {self.message}",
+        ]
+        if self.trail is not None and len(self.trail):
+            lines.append(self.trail.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class PecRunResult:
+    """Outcome of analysing one PEC under one failure scenario."""
+
+    pec_index: int
+    failure: FailureScenario
+    converged_states: int = 0
+    checked_states: int = 0
+    suppressed_states: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    statistics: Optional[ExplorationStatistics] = None
+    data_planes: List[DataPlane] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class VerificationResult:
+    """The aggregated result of a verification task."""
+
+    policy_names: List[str]
+    holds: bool = True
+    violations: List[Violation] = field(default_factory=list)
+    pec_runs: List[PecRunResult] = field(default_factory=list)
+    pecs_analyzed: int = 0
+    failure_scenarios: int = 0
+    elapsed_seconds: float = 0.0
+
+    # Aggregate statistics across all explorations.
+    total_states_expanded: int = 0
+    total_unique_states: int = 0
+    total_converged_states: int = 0
+    approximate_memory_bytes: int = 0
+
+    def record(self, run: PecRunResult) -> None:
+        """Fold one PEC run into the aggregate."""
+        self.pec_runs.append(run)
+        self.violations.extend(run.violations)
+        if run.violations:
+            self.holds = False
+        self.total_converged_states += run.converged_states
+        if run.statistics is not None:
+            self.total_states_expanded += run.statistics.states_expanded
+            self.total_unique_states += run.statistics.unique_states
+            self.approximate_memory_bytes += run.statistics.approximate_memory_bytes
+
+    def first_violation(self) -> Optional[Violation]:
+        """The first recorded violation, if any."""
+        return self.violations[0] if self.violations else None
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        verdict = "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
+        return (
+            f"policies {', '.join(self.policy_names)}: {verdict}; "
+            f"{self.pecs_analyzed} PEC(s), {self.failure_scenarios} failure scenario(s), "
+            f"{self.total_converged_states} converged state(s) checked, "
+            f"{self.total_states_expanded} state expansions, "
+            f"{self.elapsed_seconds:.3f}s"
+        )

@@ -1,0 +1,341 @@
+"""The Plankton verifier facade.
+
+:class:`Plankton` ties the whole pipeline together (paper Figure 3):
+
+1. compute Packet Equivalence Classes from the configuration,
+2. build the PEC dependency graph and a dependency-aware schedule,
+3. for every failure scenario allowed by the environment specification,
+   explore every converged data plane of every relevant PEC with the
+   explicit-state model checker (RPVP + the §4 optimizations),
+4. invoke the policy callback on each converged state; report the first (or
+   all) violations with an event trail.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.config.objects import NetworkConfig
+from repro.core.network_model import ConvergedOutcome, DependencyContext, PecExplorer
+from repro.core.options import PlanktonOptions
+from repro.core.results import PecRunResult, VerificationResult, Violation
+from repro.core.scheduler import dependency_closure, restrict_schedule, run_tasks
+from repro.exceptions import VerificationError
+from repro.modelcheck.trail import Trail
+from repro.pec.classes import PacketEquivalenceClass, compute_pecs
+from repro.pec.dependencies import PecDependencyGraph, build_dependency_graph
+from repro.policies.base import Policy, PolicyCheckContext
+from repro.protocols.ospf import OspfComputation
+from repro.topology.failures import (
+    FailureScenario,
+    enumerate_failure_scenarios,
+    reduced_failure_scenarios,
+)
+
+
+class Plankton:
+    """The configuration verifier.
+
+    Typical use::
+
+        plankton = Plankton(network, PlanktonOptions(max_failures=1))
+        result = plankton.verify(Reachability(sources=["edge0_0"]))
+        assert result.holds, result.first_violation().render()
+    """
+
+    def __init__(self, network: NetworkConfig, options: Optional[PlanktonOptions] = None) -> None:
+        self.network = network
+        self.options = options or PlanktonOptions()
+        self.pecs: List[PacketEquivalenceClass] = compute_pecs(network)
+        self.dependency_graph: PecDependencyGraph = build_dependency_graph(network, self.pecs)
+        self.ospf_computation = OspfComputation(network)
+        self._pec_by_index = {pec.index: pec for pec in self.pecs}
+
+    # ------------------------------------------------------------------ public API
+    def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:
+        """Verify the configuration against one policy or a list of policies."""
+        policy_list = [policies] if isinstance(policies, Policy) else list(policies)
+        if not policy_list:
+            raise VerificationError("at least one policy is required")
+        result = VerificationResult(policy_names=[p.name for p in policy_list])
+        started = time.perf_counter()
+
+        relevant = [pec for pec in self.pecs if any(p.applies_to(pec) for p in policy_list)]
+        result.pecs_analyzed = len(relevant)
+        if not relevant:
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        needed = dependency_closure(self.dependency_graph, (pec.index for pec in relevant))
+        has_dependencies = any(
+            self.dependency_graph.dependencies_of(index) & needed for index in needed
+        )
+
+        if has_dependencies:
+            self._verify_with_dependencies(policy_list, relevant, needed, result)
+        else:
+            self._verify_independent(policy_list, relevant, result)
+
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ independent PECs
+    def _verify_independent(
+        self,
+        policies: List[Policy],
+        relevant: List[PacketEquivalenceClass],
+        result: VerificationResult,
+    ) -> None:
+        """Fast path: every PEC is analysed in isolation (paper's common case)."""
+        tasks: List[Tuple[PacketEquivalenceClass, FailureScenario]] = []
+        scenario_count = 0
+        for pec in relevant:
+            scenarios = self._failure_scenarios_for(pec, policies)
+            scenario_count = max(scenario_count, len(scenarios))
+            for failure in scenarios:
+                tasks.append((pec, failure))
+        result.failure_scenarios = scenario_count
+
+        if self.options.cores > 1 and not self.options.stop_at_first_violation:
+            worker = _IndependentTaskWorker(self.network, self.options, policies)
+            runs = run_tasks(tasks, worker, cores=self.options.cores)
+            for run in runs:
+                result.record(run)
+            return
+
+        for pec, failure in tasks:
+            run, _outcomes = self._run_pec(pec, failure, policies, DependencyContext(), False)
+            result.record(run)
+            if run.violations and self.options.stop_at_first_violation:
+                return
+
+    # ------------------------------------------------------------------ dependent PECs
+    def _verify_with_dependencies(
+        self,
+        policies: List[Policy],
+        relevant: List[PacketEquivalenceClass],
+        needed: Set[int],
+        result: VerificationResult,
+    ) -> None:
+        """Dependency-aware scheduling: upstream SCCs first, their converged
+        states materialised for downstream PECs; topology changes are matched
+        across the explorations of different PECs (paper §3.2)."""
+        relevant_indices = {pec.index for pec in relevant}
+        schedule = restrict_schedule(self.dependency_graph, needed)
+        scenarios = enumerate_failure_scenarios(self.network.topology, self.options.max_failures)
+        result.failure_scenarios = len(scenarios)
+
+        for failure in scenarios:
+            outcomes_by_pec: Dict[int, List[ConvergedOutcome]] = {}
+            for scc in schedule:
+                for index in scc:
+                    pec = self._pec_by_index[index]
+                    check_policies = policies if index in relevant_indices else []
+                    has_dependents = bool(
+                        self.dependency_graph.dependents_of(index) & needed
+                    )
+                    dependency_indices = sorted(
+                        self.dependency_graph.dependencies_of(index) & needed - {index}
+                    )
+                    combos = self._dependency_combinations(dependency_indices, outcomes_by_pec)
+                    collected: List[ConvergedOutcome] = []
+                    for combo in combos:
+                        context = DependencyContext()
+                        for upstream_index, outcome in combo:
+                            context.add(self._pec_by_index[upstream_index], outcome.data_plane)
+                        run, outcomes = self._run_pec(
+                            pec, failure, check_policies, context, collect_outcomes=has_dependents
+                        )
+                        result.record(run)
+                        collected.extend(outcomes)
+                        if run.violations and self.options.stop_at_first_violation:
+                            return
+                    outcomes_by_pec[index] = collected
+
+    @staticmethod
+    def _dependency_combinations(
+        dependency_indices: Sequence[int],
+        outcomes_by_pec: Dict[int, List[ConvergedOutcome]],
+    ) -> List[List[Tuple[int, ConvergedOutcome]]]:
+        """Cross product of upstream converged outcomes (usually a single one)."""
+        pools: List[List[Tuple[int, ConvergedOutcome]]] = []
+        for index in dependency_indices:
+            outcomes = outcomes_by_pec.get(index, [])
+            if outcomes:
+                pools.append([(index, outcome) for outcome in outcomes])
+        if not pools:
+            return [[]]
+        return [list(combo) for combo in itertools.product(*pools)]
+
+    # ------------------------------------------------------------------ single PEC run
+    def _failure_scenarios_for(
+        self, pec: PacketEquivalenceClass, policies: List[Policy]
+    ) -> List[FailureScenario]:
+        """Failure scenarios for an independently analysed PEC (§4.1.4, §4.3)."""
+        if self.options.max_failures <= 0:
+            return [FailureScenario()]
+        flags = self.options.optimizations
+        if not flags.failure_equivalence:
+            return enumerate_failure_scenarios(self.network.topology, self.options.max_failures)
+        colors: Dict[str, object] = {}
+        for name in self.network.topology.nodes:
+            colors[name] = (
+                tuple(sorted(str(p) for p, devs in pec.ospf_origins if name in devs)),
+                tuple(sorted(str(p) for p, devs in pec.bgp_origins if name in devs)),
+                tuple(sorted(str(p) for p, devs in pec.static_devices if name in devs)),
+            )
+        interesting: Set[str] = set()
+        for policy in policies:
+            nodes = policy.interesting_nodes(pec)
+            if nodes:
+                interesting.update(nodes)
+            sources = policy.source_nodes(pec)
+            if sources:
+                interesting.update(sources)
+        return reduced_failure_scenarios(
+            self.network.topology,
+            self.options.max_failures,
+            colors=colors,
+            interesting_nodes=sorted(interesting),
+        )
+
+    def _policy_sources(
+        self, pec: PacketEquivalenceClass, policies: List[Policy], has_dependents: bool
+    ) -> Optional[List[str]]:
+        """Union of policy source nodes, when usable for pruning (§4.2)."""
+        if not self.options.optimizations.policy_based_pruning:
+            return None
+        if has_dependents:
+            # Not sound for PECs on which other PECs depend (§4.2).
+            return None
+        if not policies:
+            return None
+        sources: Set[str] = set()
+        for policy in policies:
+            declared = policy.source_nodes(pec)
+            if declared is None:
+                return None
+            sources.update(declared)
+        return sorted(sources)
+
+    def _run_pec(
+        self,
+        pec: PacketEquivalenceClass,
+        failure: FailureScenario,
+        policies: List[Policy],
+        dependency_context: DependencyContext,
+        collect_outcomes: bool,
+    ) -> Tuple[PecRunResult, List[ConvergedOutcome]]:
+        """Explore one PEC under one failure scenario and check the policies."""
+        has_dependents = collect_outcomes
+        sources = self._policy_sources(pec, policies, has_dependents)
+        explorer = PecExplorer(
+            self.network,
+            pec,
+            failure,
+            self.options,
+            policy_sources=sources,
+            dependency_context=dependency_context,
+            ospf_computation=self.ospf_computation,
+        )
+        run = PecRunResult(pec_index=pec.index, failure=failure)
+        seen_signatures: Dict[str, Set[Tuple]] = {}
+        failure_text = failure.describe(self.network.topology)
+
+        def check_outcome(outcome: ConvergedOutcome) -> Optional[str]:
+            """Check every policy on one converged data plane; returns the first
+            violation message (which also stops a streaming search)."""
+            run.converged_states += 1
+            if self.options.keep_data_planes:
+                run.data_planes.append(outcome.data_plane)
+            first_message: Optional[str] = None
+            for policy in policies:
+                if not policy.applies_to(pec):
+                    continue
+                context = PolicyCheckContext(
+                    network=self.network,
+                    pec=pec,
+                    data_plane=outcome.data_plane,
+                    failure=failure,
+                    dependencies=dependency_context.data_planes(),
+                    control_plane=outcome.control_plane,
+                )
+                if self.options.optimizations.policy_based_pruning:
+                    signature = policy.state_signature(context)
+                    if signature is not None:
+                        bucket = seen_signatures.setdefault(policy.name, set())
+                        if signature in bucket:
+                            run.suppressed_states += 1
+                            continue
+                        bucket.add(signature)
+                run.checked_states += 1
+                message = policy.check(context)
+                if message is None:
+                    continue
+                trail = Trail(policy=policy.name, pec_description=pec.describe())
+                trail.add("failure", failure_text)
+                for step in outcome.steps:
+                    description = step.describe() if hasattr(step, "describe") else str(step)
+                    trail.add("rpvp-step", description)
+                trail.violation_description = message
+                trail.data_plane_dump = outcome.data_plane.describe()
+                run.violations.append(
+                    Violation(
+                        policy=policy.name,
+                        pec_index=pec.index,
+                        pec_description=str(pec.address_range),
+                        failure_description=failure_text,
+                        message=message,
+                        trail=trail,
+                    )
+                )
+                if first_message is None:
+                    first_message = message
+                if self.options.stop_at_first_violation:
+                    return message
+            return first_message if self.options.stop_at_first_violation else None
+
+        if collect_outcomes:
+            # Downstream PECs need every converged outcome of this one, so run
+            # the batch exploration and check the policies afterwards.
+            outcomes = explorer.explore()
+            run.statistics = explorer.statistics
+            run.converged_states = 0
+            for outcome in outcomes:
+                message = check_outcome(outcome)
+                if message is not None and self.options.stop_at_first_violation:
+                    return run, outcomes
+            return run, outcomes
+
+        # Independent PEC: stream the policy check through the model checker so
+        # the search stops at the first violating converged state.
+        outcomes = explorer.explore(on_outcome=check_outcome, keep_outcomes=False)
+        run.statistics = explorer.statistics
+        return run, outcomes
+
+
+class _IndependentTaskWorker:
+    """Picklable worker used for the parallel independent-PEC path."""
+
+    def __init__(self, network: NetworkConfig, options: PlanktonOptions, policies: List[Policy]) -> None:
+        self.network = network
+        self.options = options
+        self.policies = policies
+
+    def __call__(self, task: Tuple[PacketEquivalenceClass, FailureScenario]) -> PecRunResult:
+        pec, failure = task
+        verifier = Plankton(self.network, self.options)
+        run, _outcomes = verifier._run_pec(pec, failure, self.policies, DependencyContext(), False)
+        return run
+
+
+def verify(
+    network: NetworkConfig,
+    policies: Union[Policy, Sequence[Policy]],
+    options: Optional[PlanktonOptions] = None,
+) -> VerificationResult:
+    """One-shot convenience wrapper around :class:`Plankton`."""
+    return Plankton(network, options).verify(policies)

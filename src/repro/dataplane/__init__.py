@@ -1,0 +1,21 @@
+"""Data-plane substrate: FIBs, forwarding graphs and path analysis."""
+
+from repro.dataplane.fib import Fib, FibEntry, DataPlane
+from repro.dataplane.forwarding import (
+    ForwardingGraph,
+    PathResult,
+    PathStatus,
+    trace_paths,
+    all_paths_from,
+)
+
+__all__ = [
+    "Fib",
+    "FibEntry",
+    "DataPlane",
+    "ForwardingGraph",
+    "PathResult",
+    "PathStatus",
+    "trace_paths",
+    "all_paths_from",
+]

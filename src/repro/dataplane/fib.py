@@ -1,0 +1,147 @@
+"""FIB model: combining per-prefix, per-protocol results into a data plane.
+
+Once the converged states of all relevant prefixes of a PEC are computed, "a
+model of the FIB combines the results from the various prefixes and protocols
+into a single network-wide data plane for the PEC" (paper §3.3).  That
+combination follows router behaviour:
+
+* longest prefix match across prefixes,
+* administrative distance across protocols for the same prefix
+  (connected < static < eBGP < OSPF < iBGP),
+* ECMP next-hop sets where the winning protocol allows them (OSPF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.netaddr import AddressRange, Prefix
+from repro.protocols.base import RouteSource
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One FIB entry on one device.
+
+    ``next_hops`` is a sorted tuple of neighbour device names; an empty tuple
+    together with ``delivers_locally=False`` and ``drop=False`` means the
+    entry is unresolved (treated as a black hole by the forwarding model).
+    """
+
+    prefix: Prefix
+    next_hops: Tuple[str, ...] = ()
+    source: RouteSource = RouteSource.STATIC
+    delivers_locally: bool = False
+    drop: bool = False
+    metric: int = 0
+
+    @property
+    def administrative_distance(self) -> int:
+        """The entry's administrative distance (from its source protocol)."""
+        return self.source.administrative_distance
+
+
+class Fib:
+    """The forwarding table of a single device."""
+
+    def __init__(self, device: str) -> None:
+        self.device = device
+        self._entries: Dict[Prefix, FibEntry] = {}
+
+    def install(self, entry: FibEntry) -> None:
+        """Install ``entry``; a lower administrative distance wins on conflict."""
+        existing = self._entries.get(entry.prefix)
+        if existing is None or entry.administrative_distance < existing.administrative_distance:
+            self._entries[entry.prefix] = entry
+
+    def entries(self) -> List[FibEntry]:
+        """All installed entries, most specific first."""
+        return sorted(
+            self._entries.values(), key=lambda e: (-e.prefix.length, e.prefix.network)
+        )
+
+    def lookup(self, address: int) -> Optional[FibEntry]:
+        """Longest-prefix-match lookup of ``address`` (a 32-bit integer)."""
+        best: Optional[FibEntry] = None
+        for entry in self._entries.values():
+            if entry.prefix.contains_address(address):
+                if best is None or entry.prefix.length > best.prefix.length:
+                    best = entry
+        return best
+
+    def entry_for(self, prefix: Prefix) -> Optional[FibEntry]:
+        """The entry installed for exactly ``prefix`` (no LPM)."""
+        return self._entries.get(prefix)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Fib({self.device!r}, entries={len(self._entries)})"
+
+
+class DataPlane:
+    """A network-wide data plane: one :class:`Fib` per device.
+
+    This is the object handed to policy callbacks for each converged state of
+    a PEC (paper §3.5), together with the address range the PEC covers.
+    """
+
+    def __init__(self, devices: Iterable[str], pec_range: Optional[AddressRange] = None) -> None:
+        self.fibs: Dict[str, Fib] = {name: Fib(name) for name in devices}
+        self.pec_range = pec_range
+        #: Free-form annotations recorded by the verifier (failure scenario,
+        #: non-deterministic choices taken); consumed by trails and tests.
+        self.annotations: Dict[str, object] = {}
+
+    def fib(self, device: str) -> Fib:
+        """The FIB of ``device``."""
+        try:
+            return self.fibs[device]
+        except KeyError:
+            raise ReproError(f"no FIB for device {device!r}") from None
+
+    def install(self, device: str, entry: FibEntry) -> None:
+        """Install ``entry`` into the FIB of ``device``."""
+        self.fib(device).install(entry)
+
+    def devices(self) -> List[str]:
+        """All device names."""
+        return list(self.fibs)
+
+    def lookup(self, device: str, address: int) -> Optional[FibEntry]:
+        """LPM lookup on one device."""
+        return self.fib(device).lookup(address)
+
+    def next_hops(self, device: str, address: int) -> Tuple[str, ...]:
+        """The next hops ``device`` uses for ``address`` (empty = dropped/black hole)."""
+        entry = self.lookup(device, address)
+        if entry is None or entry.drop:
+            return ()
+        return entry.next_hops
+
+    def delivers_locally(self, device: str, address: int) -> bool:
+        """True if ``device`` is the destination for ``address`` in this data plane."""
+        entry = self.lookup(device, address)
+        return entry is not None and entry.delivers_locally
+
+    def describe(self) -> str:
+        """Readable dump of every non-empty FIB (used in violation trails)."""
+        lines: List[str] = []
+        for name, fib in sorted(self.fibs.items()):
+            if len(fib) == 0:
+                continue
+            lines.append(f"{name}:")
+            for entry in fib.entries():
+                if entry.drop:
+                    target = "drop"
+                elif entry.delivers_locally:
+                    target = "deliver"
+                elif entry.next_hops:
+                    target = ", ".join(entry.next_hops)
+                else:
+                    target = "<unresolved>"
+                lines.append(f"  {entry.prefix} -> {target} [{entry.source.name}]")
+        return "\n".join(lines)

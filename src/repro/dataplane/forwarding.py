@@ -1,0 +1,186 @@
+"""Forwarding analysis over a converged data plane.
+
+Policies are arbitrary functions of the data plane (paper §3.5); in practice
+they all need the same primitives: follow the next hops of a packet from a
+source device and classify what happens — delivered, dropped, black-holed,
+caught in a loop.  This module provides those primitives, handling ECMP by
+exploring every next-hop branch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.dataplane.fib import DataPlane
+
+
+class PathStatus(enum.Enum):
+    """Terminal classification of one forwarding branch."""
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"          # explicit drop (Null0 style)
+    BLACKHOLE = "blackhole"      # no matching FIB entry / unresolved entry
+    LOOP = "loop"
+    TRUNCATED = "truncated"      # exceeded the hop budget
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """One forwarding branch: the node sequence and how it ended."""
+
+    nodes: Tuple[str, ...]
+    status: PathStatus
+
+    @property
+    def length(self) -> int:
+        """Number of hops (edges) traversed."""
+        return max(0, len(self.nodes) - 1)
+
+    @property
+    def final_node(self) -> str:
+        """The last node on the branch."""
+        return self.nodes[-1]
+
+    def visits(self, node: str) -> bool:
+        """True if the branch passes through ``node``."""
+        return node in self.nodes
+
+    def visits_any(self, nodes: Sequence[str]) -> bool:
+        """True if the branch passes through at least one of ``nodes``."""
+        return any(node in self.nodes for node in nodes)
+
+    def describe(self) -> str:
+        return " -> ".join(self.nodes) + f" [{self.status.value}]"
+
+
+def trace_paths(
+    data_plane: DataPlane,
+    source: str,
+    address: int,
+    max_hops: int = 64,
+) -> List[PathResult]:
+    """All forwarding branches a packet to ``address`` can take from ``source``.
+
+    ECMP fans out into multiple branches.  A node revisited within a branch is
+    a loop.  ``max_hops`` bounds pathological cases (and implements the
+    Bounded Path Length policy's hop budget).
+    """
+    results: List[PathResult] = []
+
+    def walk(node: str, visited: Tuple[str, ...]) -> None:
+        path = visited + (node,)
+        if node in visited:
+            results.append(PathResult(nodes=path, status=PathStatus.LOOP))
+            return
+        if len(path) - 1 > max_hops:
+            results.append(PathResult(nodes=path, status=PathStatus.TRUNCATED))
+            return
+        entry = data_plane.lookup(node, address)
+        if entry is None:
+            results.append(PathResult(nodes=path, status=PathStatus.BLACKHOLE))
+            return
+        if entry.delivers_locally:
+            results.append(PathResult(nodes=path, status=PathStatus.DELIVERED))
+            return
+        if entry.drop:
+            results.append(PathResult(nodes=path, status=PathStatus.DROPPED))
+            return
+        if not entry.next_hops:
+            results.append(PathResult(nodes=path, status=PathStatus.BLACKHOLE))
+            return
+        for next_hop in entry.next_hops:
+            walk(next_hop, path)
+
+    walk(source, ())
+    return results
+
+
+def all_paths_from(
+    data_plane: DataPlane,
+    sources: Sequence[str],
+    address: int,
+    max_hops: int = 64,
+) -> Dict[str, List[PathResult]]:
+    """Forwarding branches for every source in ``sources``."""
+    return {source: trace_paths(data_plane, source, address, max_hops) for source in sources}
+
+
+class ForwardingGraph:
+    """The next-hop graph of a data plane for one address.
+
+    Useful for whole-network analyses (loop detection over all sources at
+    once) without repeating per-source traversals.
+    """
+
+    def __init__(self, data_plane: DataPlane, address: int) -> None:
+        self.data_plane = data_plane
+        self.address = address
+        self.successors: Dict[str, Tuple[str, ...]] = {}
+        self.delivering: Set[str] = set()
+        self.dropping: Set[str] = set()
+        for device in data_plane.devices():
+            entry = data_plane.lookup(device, address)
+            if entry is None:
+                self.successors[device] = ()
+            elif entry.delivers_locally:
+                self.successors[device] = ()
+                self.delivering.add(device)
+            elif entry.drop:
+                self.successors[device] = ()
+                self.dropping.add(device)
+            else:
+                self.successors[device] = entry.next_hops
+
+    def has_cycle(self) -> Optional[List[str]]:
+        """A forwarding cycle (as a node list) if one exists, else None."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {node: WHITE for node in self.successors}
+        stack_path: List[str] = []
+
+        def visit(node: str) -> Optional[List[str]]:
+            color[node] = GREY
+            stack_path.append(node)
+            for successor in self.successors.get(node, ()):
+                if successor not in color:
+                    continue
+                if color[successor] == GREY:
+                    start = stack_path.index(successor)
+                    return stack_path[start:] + [successor]
+                if color[successor] == WHITE:
+                    found = visit(successor)
+                    if found is not None:
+                        return found
+            stack_path.pop()
+            color[node] = BLACK
+            return None
+
+        for node in self.successors:
+            if color[node] == WHITE:
+                found = visit(node)
+                if found is not None:
+                    return found
+        return None
+
+    def reaches_delivery(self, source: str) -> bool:
+        """True if some branch from ``source`` ends at a delivering node."""
+        seen: Set[str] = set()
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in self.delivering:
+                return True
+            stack.extend(self.successors.get(node, ()))
+        return False
+
+    def black_holes(self) -> List[str]:
+        """Nodes that neither deliver, drop, nor have next hops for the address."""
+        return sorted(
+            node
+            for node, succs in self.successors.items()
+            if not succs and node not in self.delivering and node not in self.dropping
+        )

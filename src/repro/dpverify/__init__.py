@@ -1,0 +1,54 @@
+"""Incremental data plane verification (VeriFlow-style).
+
+The configuration verifier answers "can any converged data plane violate the
+policy?"; this subpackage answers the simpler run-time question "does the data
+plane installed *right now* violate an invariant?", incrementally as rules are
+installed and removed.  It reuses the same equivalence-class idea the paper's
+PEC computation is built on (§3.1) and the same forwarding analysis layer as
+the policies.
+"""
+
+from repro.dpverify.rules import (
+    ForwardingRule,
+    RuleAction,
+    RuleTable,
+    deliver,
+    drop,
+    forward,
+)
+from repro.dpverify.classes import (
+    classes_overlapping,
+    compute_equivalence_classes,
+    covered_by_rules,
+)
+from repro.dpverify.invariants import (
+    BoundedLength,
+    Invariant,
+    InvariantViolation,
+    LoopFree,
+    NoBlackHole,
+    Reachable,
+    Waypointed,
+)
+from repro.dpverify.verifier import CheckReport, IncrementalDataPlaneVerifier
+
+__all__ = [
+    "ForwardingRule",
+    "RuleAction",
+    "RuleTable",
+    "forward",
+    "deliver",
+    "drop",
+    "compute_equivalence_classes",
+    "classes_overlapping",
+    "covered_by_rules",
+    "Invariant",
+    "InvariantViolation",
+    "LoopFree",
+    "NoBlackHole",
+    "Reachable",
+    "Waypointed",
+    "BoundedLength",
+    "CheckReport",
+    "IncrementalDataPlaneVerifier",
+]

@@ -1,0 +1,52 @@
+"""Equivalence classes of the data plane rule set.
+
+Exactly like the configuration-level Packet Equivalence Classes (paper §3.1),
+the installed rules partition the destination space into contiguous ranges
+within which every device applies the same rule.  The partition is computed
+from the prefix boundaries of the rules; when a rule is installed or removed,
+only the classes overlapping that rule's prefix can change behaviour, which is
+what makes incremental (VeriFlow-style) checking cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.netaddr import MAX_IPV4, AddressRange, Prefix
+
+
+def compute_equivalence_classes(prefixes: Iterable[Prefix]) -> List[AddressRange]:
+    """Partition the IPv4 space at the boundaries of ``prefixes``.
+
+    Returns consecutive, non-overlapping ranges covering the full space,
+    ordered by address.  With no prefixes, the single range covering
+    everything is returned.
+    """
+    cuts = {0, MAX_IPV4 + 1}
+    for prefix in prefixes:
+        cuts.add(prefix.first)
+        cuts.add(prefix.last + 1)
+    ordered = sorted(cuts)
+    return [
+        AddressRange(ordered[i], ordered[i + 1] - 1)
+        for i in range(len(ordered) - 1)
+        if ordered[i] <= ordered[i + 1] - 1
+    ]
+
+
+def classes_overlapping(
+    classes: Sequence[AddressRange], prefix: Prefix
+) -> List[AddressRange]:
+    """The equivalence classes that intersect ``prefix``.
+
+    These are the only classes whose forwarding behaviour can change when a
+    rule for ``prefix`` is installed or removed.
+    """
+    target = prefix.to_range()
+    return [ec for ec in classes if ec.overlaps(target)]
+
+
+def covered_by_rules(classes: Sequence[AddressRange], prefixes: Iterable[Prefix]) -> List[AddressRange]:
+    """The equivalence classes covered by at least one rule prefix."""
+    rule_ranges = [prefix.to_range() for prefix in prefixes]
+    return [ec for ec in classes if any(ec.overlaps(r) for r in rule_ranges)]

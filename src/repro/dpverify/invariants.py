@@ -1,0 +1,151 @@
+"""Data plane invariants checked per equivalence class.
+
+Each invariant is a function of the forwarding behaviour of a single
+equivalence class — the same shape as Plankton's policies (§3.5), but
+evaluated over an installed rule set rather than over the converged states of
+a configuration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dataplane.fib import DataPlane
+from repro.dataplane.forwarding import ForwardingGraph, PathStatus, trace_paths
+from repro.netaddr import AddressRange, int_to_ip
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated invariant in one equivalence class."""
+
+    invariant: str
+    equivalence_class: AddressRange
+    message: str
+
+    def describe(self) -> str:
+        low = int_to_ip(self.equivalence_class.low)
+        high = int_to_ip(self.equivalence_class.high)
+        return f"[{self.invariant}] {low}-{high}: {self.message}"
+
+
+class Invariant(abc.ABC):
+    """Base class for data plane invariants."""
+
+    #: Human-readable invariant name (used in reports).
+    name: str = "invariant"
+
+    @abc.abstractmethod
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        """Return a violation description for this class, or None."""
+
+
+class LoopFree(Invariant):
+    """No forwarding cycle exists for the class."""
+
+    name = "loop-free"
+
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        cycle = ForwardingGraph(data_plane, address).has_cycle()
+        if cycle is None:
+            return None
+        return "forwarding loop: " + " -> ".join(cycle)
+
+
+class NoBlackHole(Invariant):
+    """Every device holding a rule for the class either forwards, drops or delivers.
+
+    Devices without any matching rule are reported only when ``strict`` is
+    set: in sparsely populated FIBs (e.g. edge devices that simply lack the
+    route yet) a missing rule is usually the expected "drop by default".
+    """
+
+    name = "no-black-hole"
+
+    def __init__(self, strict: bool = False, ignore_devices: Sequence[str] = ()) -> None:
+        self.strict = strict
+        self.ignore_devices = set(ignore_devices)
+
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        graph = ForwardingGraph(data_plane, address)
+        holes: List[str] = []
+        for device in graph.black_holes():
+            if device in self.ignore_devices:
+                continue
+            if not self.strict and data_plane.lookup(device, address) is None:
+                continue
+            holes.append(device)
+        if not holes:
+            return None
+        return "black hole at " + ", ".join(sorted(holes))
+
+
+class Reachable(Invariant):
+    """Packets from every source device reach a delivering device."""
+
+    name = "reachable"
+
+    def __init__(self, sources: Sequence[str], require_all_branches: bool = True) -> None:
+        if not sources:
+            raise ValueError("the reachability invariant needs at least one source")
+        self.sources = list(sources)
+        self.require_all_branches = require_all_branches
+
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        for source in self.sources:
+            branches = trace_paths(data_plane, source, address)
+            delivered = [b for b in branches if b.status is PathStatus.DELIVERED]
+            if self.require_all_branches:
+                bad = [b for b in branches if b.status is not PathStatus.DELIVERED]
+                if bad:
+                    return f"{source}: branch {bad[0].describe()}"
+            elif not delivered:
+                return f"{source}: no branch delivers ({branches[0].describe()})"
+        return None
+
+
+class Waypointed(Invariant):
+    """Delivered traffic from the sources passes through one of the waypoints."""
+
+    name = "waypointed"
+
+    def __init__(self, sources: Sequence[str], waypoints: Sequence[str]) -> None:
+        if not sources or not waypoints:
+            raise ValueError("the waypoint invariant needs sources and waypoints")
+        self.sources = list(sources)
+        self.waypoints = list(waypoints)
+
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        for source in self.sources:
+            if source in self.waypoints:
+                continue
+            for branch in trace_paths(data_plane, source, address):
+                if branch.status is not PathStatus.DELIVERED:
+                    continue
+                if not branch.visits_any(self.waypoints):
+                    return f"{source}: path {branch.describe()} avoids all waypoints"
+        return None
+
+
+class BoundedLength(Invariant):
+    """No forwarding branch exceeds the hop budget."""
+
+    name = "bounded-length"
+
+    def __init__(self, max_hops: int, sources: Optional[Sequence[str]] = None) -> None:
+        if max_hops < 0:
+            raise ValueError("max_hops must be non-negative")
+        self.max_hops = max_hops
+        self.sources = list(sources) if sources else None
+
+    def check(self, data_plane: DataPlane, address: int) -> Optional[str]:
+        sources = self.sources if self.sources is not None else data_plane.devices()
+        for source in sources:
+            for branch in trace_paths(data_plane, source, address, max_hops=self.max_hops):
+                if branch.status is PathStatus.TRUNCATED:
+                    return f"{source}: path exceeds {self.max_hops} hops ({branch.describe()})"
+                if branch.status is PathStatus.DELIVERED and branch.length > self.max_hops:
+                    return f"{source}: delivered after {branch.length} hops"
+        return None

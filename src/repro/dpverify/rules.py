@@ -1,0 +1,141 @@
+"""Forwarding rules and per-device rule tables for data plane verification.
+
+The data plane verifier (:mod:`repro.dpverify`) works on *installed rules*
+rather than on configurations: each rule says how one device forwards packets
+matching one prefix.  This mirrors the input of data plane verification tools
+such as VeriFlow and HSA, which the paper builds on for its equivalence-class
+technique (§3.1) and lists as the precursor of configuration verification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.netaddr import Prefix
+
+
+class RuleAction(enum.Enum):
+    """What a matching packet does at the rule's device."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    DELIVER = "deliver"
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One forwarding rule on one device.
+
+    Attributes:
+        device: The device the rule is installed on.
+        prefix: Destination prefix the rule matches.
+        action: Forward to ``next_hops``, drop, or deliver locally.
+        next_hops: Neighbour devices for ``FORWARD`` rules (ECMP when several).
+        priority: Tie-breaker between rules of equal prefix length on the same
+            device (higher wins); defaults to 0.
+    """
+
+    device: str
+    prefix: Prefix
+    action: RuleAction = RuleAction.FORWARD
+    next_hops: Tuple[str, ...] = ()
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action is RuleAction.FORWARD and not self.next_hops:
+            raise ReproError(
+                f"forward rule on {self.device} for {self.prefix} needs at least one next hop"
+            )
+        if self.action is not RuleAction.FORWARD and self.next_hops:
+            raise ReproError(
+                f"{self.action.value} rule on {self.device} for {self.prefix} "
+                "must not carry next hops"
+            )
+
+    def describe(self) -> str:
+        """Compact human-readable form used in reports."""
+        if self.action is RuleAction.FORWARD:
+            target = " -> " + ",".join(self.next_hops)
+        else:
+            target = f" [{self.action.value}]"
+        return f"{self.device}: {self.prefix}{target}"
+
+
+def forward(device: str, prefix: str, *next_hops: str, priority: int = 0) -> ForwardingRule:
+    """Convenience constructor for a FORWARD rule (prefix given as text)."""
+    return ForwardingRule(
+        device=device,
+        prefix=Prefix(prefix),
+        action=RuleAction.FORWARD,
+        next_hops=tuple(next_hops),
+        priority=priority,
+    )
+
+
+def deliver(device: str, prefix: str, priority: int = 0) -> ForwardingRule:
+    """Convenience constructor for a DELIVER rule."""
+    return ForwardingRule(
+        device=device, prefix=Prefix(prefix), action=RuleAction.DELIVER, priority=priority
+    )
+
+
+def drop(device: str, prefix: str, priority: int = 0) -> ForwardingRule:
+    """Convenience constructor for a DROP rule."""
+    return ForwardingRule(
+        device=device, prefix=Prefix(prefix), action=RuleAction.DROP, priority=priority
+    )
+
+
+class RuleTable:
+    """The installed rules of one device, with longest-prefix-match lookup."""
+
+    def __init__(self, device: str) -> None:
+        self.device = device
+        self._rules: Dict[Tuple[Prefix, int], ForwardingRule] = {}
+
+    def install(self, rule: ForwardingRule) -> Optional[ForwardingRule]:
+        """Install ``rule``; returns the rule it replaced (same prefix and
+        priority), if any."""
+        if rule.device != self.device:
+            raise ReproError(
+                f"rule for device {rule.device!r} installed into table of {self.device!r}"
+            )
+        key = (rule.prefix, rule.priority)
+        previous = self._rules.get(key)
+        self._rules[key] = rule
+        return previous
+
+    def remove(self, rule: ForwardingRule) -> bool:
+        """Remove ``rule`` (matched by prefix and priority); True if present."""
+        return self._rules.pop((rule.prefix, rule.priority), None) is not None
+
+    def rules(self) -> List[ForwardingRule]:
+        """All installed rules, most specific (then highest priority) first."""
+        return sorted(
+            self._rules.values(),
+            key=lambda r: (-r.prefix.length, -r.priority, r.prefix.network),
+        )
+
+    def lookup(self, address: int) -> Optional[ForwardingRule]:
+        """The longest-prefix-match rule for ``address`` (priority breaks ties)."""
+        best: Optional[ForwardingRule] = None
+        for rule in self._rules.values():
+            if not rule.prefix.contains_address(address):
+                continue
+            if best is None:
+                best = rule
+            elif (rule.prefix.length, rule.priority) > (best.prefix.length, best.priority):
+                best = rule
+        return best
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterable[ForwardingRule]:
+        return iter(self.rules())
+
+    def __repr__(self) -> str:
+        return f"RuleTable({self.device!r}, rules={len(self._rules)})"

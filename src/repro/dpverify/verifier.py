@@ -1,0 +1,211 @@
+"""Incremental (VeriFlow-style) data plane verification.
+
+The verifier keeps the currently installed forwarding rules of every device.
+Each rule installation or removal triggers a check of exactly the equivalence
+classes whose behaviour the change can affect — the classes overlapping the
+rule's prefix — against a configurable set of invariants.
+
+This substrate serves two purposes in the reproduction:
+
+* it is the data-plane-verification precursor the paper builds its PEC
+  technique on (§3.1 "a trie-based technique similar to VeriFlow"), and
+* it bridges Plankton's output back to run-time checking: a converged
+  :class:`~repro.dataplane.fib.DataPlane` produced by the verifier can be
+  imported as a rule set and then monitored incrementally as rules change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dataplane.fib import DataPlane, FibEntry
+from repro.dpverify.classes import classes_overlapping, compute_equivalence_classes
+from repro.dpverify.invariants import Invariant, InvariantViolation
+from repro.dpverify.rules import ForwardingRule, RuleAction, RuleTable
+from repro.exceptions import ReproError
+from repro.netaddr import AddressRange, Prefix
+from repro.protocols.base import RouteSource
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one incremental check (or of a full re-check)."""
+
+    #: The rule whose change triggered the check (None for ``check_all``).
+    rule: Optional[ForwardingRule]
+    #: How many equivalence classes were (re-)checked.
+    classes_checked: int = 0
+    #: Violations found, in class order.
+    violations: List[InvariantViolation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        """True when no invariant was violated in the checked classes."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """Readable report used by the examples and the CLI."""
+        header = (
+            f"checked {self.classes_checked} equivalence class(es) "
+            f"in {self.elapsed_seconds * 1000:.2f} ms: "
+            + ("ok" if self.holds else f"{len(self.violations)} violation(s)")
+        )
+        lines = [header]
+        lines.extend("  " + violation.describe() for violation in self.violations)
+        return "\n".join(lines)
+
+
+class IncrementalDataPlaneVerifier:
+    """Checks data plane invariants incrementally as rules change."""
+
+    def __init__(self, devices: Iterable[str], invariants: Sequence[Invariant]) -> None:
+        self.devices = list(devices)
+        if not self.devices:
+            raise ReproError("the data plane verifier needs at least one device")
+        self.invariants = list(invariants)
+        self.tables: Dict[str, RuleTable] = {name: RuleTable(name) for name in self.devices}
+        self._classes: Optional[List[AddressRange]] = None
+
+    # ------------------------------------------------------------------ rule management
+    def install(self, rule: ForwardingRule) -> CheckReport:
+        """Install ``rule`` and check the equivalence classes it affects."""
+        table = self._table(rule.device)
+        table.install(rule)
+        self._classes = None
+        return self._check_prefix(rule, rule.prefix)
+
+    def remove(self, rule: ForwardingRule) -> CheckReport:
+        """Remove ``rule`` and re-check the equivalence classes it covered."""
+        table = self._table(rule.device)
+        if not table.remove(rule):
+            raise ReproError(f"rule not installed: {rule.describe()}")
+        self._classes = None
+        return self._check_prefix(rule, rule.prefix)
+
+    def install_batch(self, rules: Iterable[ForwardingRule]) -> CheckReport:
+        """Install several rules, then run one combined check over all affected classes."""
+        rule_list = list(rules)
+        for rule in rule_list:
+            self._table(rule.device).install(rule)
+        self._classes = None
+        affected: List[AddressRange] = []
+        seen = set()
+        for rule in rule_list:
+            for ec in classes_overlapping(self.equivalence_classes(), rule.prefix):
+                if (ec.low, ec.high) not in seen:
+                    seen.add((ec.low, ec.high))
+                    affected.append(ec)
+        return self._check_classes(None, affected)
+
+    def rules(self) -> List[ForwardingRule]:
+        """Every installed rule across all devices."""
+        result: List[ForwardingRule] = []
+        for table in self.tables.values():
+            result.extend(table.rules())
+        return result
+
+    # ------------------------------------------------------------------ checking
+    def equivalence_classes(self) -> List[AddressRange]:
+        """The current partition of the destination space (cached)."""
+        if self._classes is None:
+            prefixes = [rule.prefix for rule in self.rules()]
+            self._classes = compute_equivalence_classes(prefixes)
+        return self._classes
+
+    def check_all(self) -> CheckReport:
+        """Check every equivalence class covered by at least one rule."""
+        covered = [
+            ec
+            for ec in self.equivalence_classes()
+            if any(table.lookup(ec.representative()) is not None for table in self.tables.values())
+        ]
+        return self._check_classes(None, covered)
+
+    def snapshot(self, equivalence_class: AddressRange) -> DataPlane:
+        """The forwarding behaviour of one equivalence class as a :class:`DataPlane`."""
+        address = equivalence_class.representative()
+        data_plane = DataPlane(self.devices, pec_range=equivalence_class)
+        for name, table in self.tables.items():
+            rule = table.lookup(address)
+            if rule is None:
+                continue
+            data_plane.install(name, _rule_to_entry(rule))
+        return data_plane
+
+    # ------------------------------------------------------------------ interop
+    @classmethod
+    def from_data_plane(
+        cls,
+        data_plane: DataPlane,
+        invariants: Sequence[Invariant],
+    ) -> "IncrementalDataPlaneVerifier":
+        """Import a converged :class:`DataPlane` (e.g. Plankton output) as rules."""
+        verifier = cls(data_plane.devices(), invariants)
+        for device in data_plane.devices():
+            for entry in data_plane.fib(device).entries():
+                verifier._table(device).install(_entry_to_rule(device, entry))
+        verifier._classes = None
+        return verifier
+
+    # ------------------------------------------------------------------ internals
+    def _table(self, device: str) -> RuleTable:
+        try:
+            return self.tables[device]
+        except KeyError:
+            raise ReproError(f"unknown device {device!r}") from None
+
+    def _check_prefix(self, rule: Optional[ForwardingRule], prefix: Prefix) -> CheckReport:
+        affected = classes_overlapping(self.equivalence_classes(), prefix)
+        return self._check_classes(rule, affected)
+
+    def _check_classes(
+        self, rule: Optional[ForwardingRule], classes: Sequence[AddressRange]
+    ) -> CheckReport:
+        started = time.perf_counter()
+        report = CheckReport(rule=rule)
+        for equivalence_class in classes:
+            address = equivalence_class.representative()
+            if all(table.lookup(address) is None for table in self.tables.values()):
+                continue
+            report.classes_checked += 1
+            data_plane = self.snapshot(equivalence_class)
+            for invariant in self.invariants:
+                message = invariant.check(data_plane, address)
+                if message is not None:
+                    report.violations.append(
+                        InvariantViolation(
+                            invariant=invariant.name,
+                            equivalence_class=equivalence_class,
+                            message=message,
+                        )
+                    )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+
+def _rule_to_entry(rule: ForwardingRule) -> FibEntry:
+    """Translate a forwarding rule into the FIB entry the snapshot installs."""
+    return FibEntry(
+        prefix=rule.prefix,
+        next_hops=rule.next_hops,
+        source=RouteSource.STATIC,
+        delivers_locally=rule.action is RuleAction.DELIVER,
+        drop=rule.action is RuleAction.DROP,
+    )
+
+
+def _entry_to_rule(device: str, entry: FibEntry) -> ForwardingRule:
+    """Translate a FIB entry back into a forwarding rule."""
+    if entry.delivers_locally:
+        action = RuleAction.DELIVER
+        next_hops: tuple = ()
+    elif entry.drop or not entry.next_hops:
+        action = RuleAction.DROP
+        next_hops = ()
+    else:
+        action = RuleAction.FORWARD
+        next_hops = entry.next_hops
+    return ForwardingRule(device=device, prefix=entry.prefix, action=action, next_hops=next_hops)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Plankton reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch any failure originating in this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string/value could not be interpreted."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed or an operation refers to unknown elements."""
+
+
+class ConfigError(ReproError):
+    """A device configuration is inconsistent or cannot be parsed."""
+
+
+class ConfigParseError(ConfigError):
+    """Raised by the configuration DSL parser with line information."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ProtocolError(ReproError):
+    """A protocol model was given an invalid input or reached a bad state."""
+
+
+class VerificationError(ReproError):
+    """The verifier could not complete (as opposed to finding a violation)."""
+
+
+class SchedulingError(ReproError):
+    """Dependency-aware scheduling failed (e.g. unexpected cyclic structure)."""
+
+
+class PolicyError(ReproError):
+    """A policy was configured incorrectly (unknown nodes, bad parameters)."""
+
+
+class SolverError(ReproError):
+    """The SAT solver or an encoding built on it was used incorrectly."""
+
+
+class SearchBudgetExceeded(VerificationError):
+    """An exploration exceeded its configured state or time budget."""
+
+    def __init__(self, message: str, states_explored: int = 0) -> None:
+        super().__init__(message)
+        self.states_explored = states_explored

@@ -1,0 +1,21 @@
+"""A from-scratch explicit-state model checker (the reproduction's SPIN stand-in)."""
+
+from repro.modelcheck.hashing import BitstateFilter, StateInterner
+from repro.modelcheck.trail import Trail, TrailStep
+from repro.modelcheck.explorer import (
+    ExplorationStatistics,
+    Explorer,
+    ExplorerOptions,
+    SearchOutcome,
+)
+
+__all__ = [
+    "BitstateFilter",
+    "StateInterner",
+    "Trail",
+    "TrailStep",
+    "ExplorationStatistics",
+    "Explorer",
+    "ExplorerOptions",
+    "SearchOutcome",
+]

@@ -1,0 +1,224 @@
+"""Explicit-state depth-first search engine.
+
+This is the reproduction's SPIN: a depth-first search over the states of a
+transition system, with a visited set (exact or bitstate-hashed), optional
+state canonicalization/interning, bounded budgets, and trail recording for
+violating terminal states.
+
+The engine knows nothing about networks.  The verifier core supplies:
+
+* the initial state,
+* a ``successors`` function (which is where all of Plankton's partial-order
+  reduction and pruning optimizations live — they simply shrink the returned
+  successor list),
+* a ``check_terminal`` callback invoked at every state with no successors
+  (i.e. every converged state), which returns a violation message when the
+  policy fails there.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.modelcheck.hashing import BitstateFilter, StateInterner, VisitedSet
+from repro.modelcheck.trail import Trail, TrailStep
+
+State = TypeVar("State")
+Label = TypeVar("Label")
+
+#: successors(state) -> list of (label, next_state)
+SuccessorFunction = Callable[[State], List[Tuple[object, State]]]
+#: check_terminal(state, path_labels) -> violation message or None
+TerminalCheck = Callable[[State, List[object]], Optional[str]]
+
+
+@dataclass
+class ExplorerOptions:
+    """Tuning knobs for one search."""
+
+    max_states: int = 5_000_000
+    max_depth: int = 100_000
+    max_seconds: Optional[float] = None
+    stop_at_first_violation: bool = True
+    use_bitstate: bool = False
+    bitstate_bits: int = 1 << 22
+    bitstate_hashes: int = 3
+    #: When True, terminal (converged) states reached via different paths are
+    #: deduplicated before invoking the terminal check.
+    dedupe_terminal_states: bool = True
+
+
+@dataclass
+class ExplorationStatistics:
+    """Counters reported after a search (rendered by the benchmark harness)."""
+
+    states_expanded: int = 0
+    unique_states: int = 0
+    transitions: int = 0
+    terminal_states: int = 0
+    unique_terminal_states: int = 0
+    violations: int = 0
+    max_depth_reached: int = 0
+    elapsed_seconds: float = 0.0
+    visited_bytes: int = 0
+    interner_entries: int = 0
+    interner_bytes: int = 0
+    truncated: bool = False
+
+    @property
+    def approximate_memory_bytes(self) -> int:
+        """Visited-structure plus intern-table footprint."""
+        return self.visited_bytes + self.interner_bytes
+
+
+@dataclass
+class SearchOutcome(Generic[State]):
+    """Result of :meth:`Explorer.run`."""
+
+    statistics: ExplorationStatistics
+    violations: List[Trail] = field(default_factory=list)
+    converged_states: List[State] = field(default_factory=list)
+    #: For every entry of ``converged_states``, the labels of the path that
+    #: reached it (used by the verifier to build violation trails).
+    converged_paths: List[List[object]] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+
+class Explorer(Generic[State]):
+    """Depth-first explicit-state search with visited-state reduction."""
+
+    def __init__(
+        self,
+        successors: SuccessorFunction,
+        check_terminal: Optional[TerminalCheck] = None,
+        canonicalize: Optional[Callable[[State], Hashable]] = None,
+        options: Optional[ExplorerOptions] = None,
+        trail_factory: Optional[Callable[[], Trail]] = None,
+    ) -> None:
+        self.successors = successors
+        self.check_terminal = check_terminal
+        self.canonicalize = canonicalize or (lambda state: state)
+        self.options = options or ExplorerOptions()
+        self.trail_factory = trail_factory or (lambda: Trail(policy="", pec_description=""))
+        self.interner = StateInterner()
+
+    # ------------------------------------------------------------------ search
+    def run(self, initial_state: State, collect_converged: bool = False) -> SearchOutcome[State]:
+        """Explore the state space depth-first from ``initial_state``.
+
+        Args:
+            initial_state: Root of the search.
+            collect_converged: Also return every (deduplicated) converged
+                state reached — used when a downstream PEC needs all converged
+                outcomes of this one (paper §3.2), and by tests.
+        """
+        options = self.options
+        stats = ExplorationStatistics()
+        bitstate = (
+            BitstateFilter(bits=options.bitstate_bits, hash_count=options.bitstate_hashes)
+            if options.use_bitstate
+            else None
+        )
+        visited = VisitedSet(bitstate=bitstate)
+        seen_terminals: set = set()
+        outcome: SearchOutcome[State] = SearchOutcome(statistics=stats)
+        started = time.perf_counter()
+
+        root_key = self._fingerprint(initial_state)
+        visited.add(root_key)
+        stats.unique_states += 1
+
+        # Each stack frame: (state, labels-so-far, iterator over successors).
+        stack: List[Tuple[State, List[object], List[Tuple[object, State]], int]] = []
+        root_successors = self.successors(initial_state)
+        stack.append((initial_state, [], root_successors, 0))
+        stats.states_expanded += 1
+        stats.transitions += len(root_successors)
+
+        if not root_successors:
+            self._handle_terminal(initial_state, [], stats, seen_terminals, outcome, collect_converged)
+
+        while stack:
+            if stats.states_expanded >= options.max_states:
+                stats.truncated = True
+                break
+            if options.max_seconds is not None and time.perf_counter() - started > options.max_seconds:
+                stats.truncated = True
+                break
+            state, labels, successors, position = stack[-1]
+            if position >= len(successors):
+                stack.pop()
+                continue
+            stack[-1] = (state, labels, successors, position + 1)
+            label, next_state = successors[position]
+            key = self._fingerprint(next_state)
+            if visited.add(key):
+                continue
+            stats.unique_states += 1
+            next_labels = labels + [label]
+            stats.max_depth_reached = max(stats.max_depth_reached, len(next_labels))
+            if len(next_labels) > options.max_depth:
+                stats.truncated = True
+                continue
+            next_successors = self.successors(next_state)
+            stats.states_expanded += 1
+            stats.transitions += len(next_successors)
+            if not next_successors:
+                violation_found = self._handle_terminal(
+                    next_state, next_labels, stats, seen_terminals, outcome, collect_converged
+                )
+                if violation_found and options.stop_at_first_violation:
+                    break
+            else:
+                stack.append((next_state, next_labels, next_successors, 0))
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        stats.visited_bytes = visited.approximate_bytes()
+        stats.interner_entries = self.interner.unique_entries()
+        stats.interner_bytes = self.interner.approximate_bytes()
+        return outcome
+
+    # ------------------------------------------------------------------ helpers
+    def _fingerprint(self, state: State) -> Hashable:
+        return self.canonicalize(state)
+
+    def _handle_terminal(
+        self,
+        state: State,
+        labels: List[object],
+        stats: ExplorationStatistics,
+        seen_terminals: set,
+        outcome: SearchOutcome[State],
+        collect_converged: bool,
+    ) -> bool:
+        """Process a converged state; returns True when a violation was recorded."""
+        stats.terminal_states += 1
+        key = self._fingerprint(state)
+        if self.options.dedupe_terminal_states:
+            if key in seen_terminals:
+                return False
+            seen_terminals.add(key)
+        stats.unique_terminal_states += 1
+        if collect_converged:
+            outcome.converged_states.append(state)
+            outcome.converged_paths.append(list(labels))
+        if self.check_terminal is None:
+            return False
+        violation = self.check_terminal(state, labels)
+        if violation is None:
+            return False
+        stats.violations += 1
+        trail = self.trail_factory()
+        for label in labels:
+            description = label.describe() if hasattr(label, "describe") else str(label)
+            trail.add("rpvp-step", description)
+        trail.violation_description = violation
+        outcome.violations.append(trail)
+        return True

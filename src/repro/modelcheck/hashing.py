@@ -1,0 +1,154 @@
+"""State hashing: interning of state components and bitstate (Bloom) hashing.
+
+Two memory optimizations from the paper live here:
+
+* **State hashing** (§4.4): a network state is a vector of per-device routing
+  entries; a routing decision at one device does not change the entries at
+  the others, so entries are stored once in a hash table and states refer to
+  them by small integer ids ("64-bit pointers" in the C++ prototype).
+  :class:`StateInterner` provides that table.
+
+* **Bitstate hashing** (§5, Figure 9): instead of storing every visited state
+  explicitly, SPIN can track visited states in a Bloom filter, trading a
+  small probability of missed states (reduced coverage) for a large memory
+  saving.  :class:`BitstateFilter` is that Bloom filter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+class StateInterner:
+    """Interns hashable objects, handing out stable integer ids.
+
+    Interning the per-node route entries means a network state can be
+    represented as a tuple of small integers; identical entries across
+    millions of states are stored exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._objects: List[Hashable] = []
+
+    def intern(self, obj: Hashable) -> int:
+        """Return the id of ``obj``, assigning a new one if unseen."""
+        existing = self._ids.get(obj)
+        if existing is not None:
+            return existing
+        new_id = len(self._objects)
+        self._ids[obj] = new_id
+        self._objects.append(obj)
+        return new_id
+
+    def intern_state(self, components: Iterable[Hashable]) -> Tuple[int, ...]:
+        """Intern every component of a state vector and return the id tuple."""
+        return tuple(self.intern(component) for component in components)
+
+    def lookup(self, obj_id: int) -> Hashable:
+        """The object with id ``obj_id``."""
+        return self._objects[obj_id]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def unique_entries(self) -> int:
+        """Number of distinct interned entries."""
+        return len(self._objects)
+
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint of the intern table (ids + object refs)."""
+        # Each table slot costs roughly two machine words for the dict entry
+        # plus one for the list slot.
+        return len(self._objects) * 24
+
+
+class BitstateFilter:
+    """A Bloom filter over state fingerprints (SPIN's bitstate hashing).
+
+    ``bits`` is the filter size in bits; ``hash_count`` the number of hash
+    functions.  ``add`` returns True when the state was *possibly* seen
+    before (all bits already set) — i.e. the search should not re-expand it.
+    """
+
+    def __init__(self, bits: int = 1 << 20, hash_count: int = 3) -> None:
+        if bits <= 0:
+            raise ValueError("bitstate filter needs a positive number of bits")
+        self.bits = bits
+        self.hash_count = max(1, hash_count)
+        self._array = bytearray((bits + 7) // 8)
+        self.added = 0
+        self.possible_collisions = 0
+
+    def _positions(self, fingerprint: Hashable) -> List[int]:
+        value = fingerprint if isinstance(fingerprint, int) else hash(fingerprint)
+        digest = hashlib.blake2b(
+            value.to_bytes(16, "little", signed=True), digest_size=16
+        ).digest()
+        positions = []
+        for i in range(self.hash_count):
+            chunk = digest[i * 4 : i * 4 + 4]
+            positions.append(int.from_bytes(chunk, "little") % self.bits)
+        return positions
+
+    def contains(self, fingerprint: int) -> bool:
+        """Whether the fingerprint has possibly been added before."""
+        return all(
+            self._array[pos // 8] & (1 << (pos % 8)) for pos in self._positions(fingerprint)
+        )
+
+    def add(self, fingerprint: int) -> bool:
+        """Add ``fingerprint``; returns True if it was (possibly) already present."""
+        positions = self._positions(fingerprint)
+        present = all(self._array[pos // 8] & (1 << (pos % 8)) for pos in positions)
+        if present:
+            self.possible_collisions += 1
+            return True
+        for pos in positions:
+            self._array[pos // 8] |= 1 << (pos % 8)
+        self.added += 1
+        return False
+
+    def approximate_bytes(self) -> int:
+        """Memory used by the bit array."""
+        return len(self._array)
+
+    def estimated_coverage(self) -> float:
+        """A crude coverage estimate: fraction of additions without collision."""
+        total = self.added + self.possible_collisions
+        if total == 0:
+            return 1.0
+        return self.added / total
+
+
+class VisitedSet:
+    """Visited-state tracking with either exact storage or bitstate hashing."""
+
+    def __init__(self, bitstate: Optional[BitstateFilter] = None) -> None:
+        self.bitstate = bitstate
+        self._exact: Optional[set] = None if bitstate is not None else set()
+
+    def add(self, fingerprint: int) -> bool:
+        """Record ``fingerprint``; True when it was already visited (skip it)."""
+        if self.bitstate is not None:
+            return self.bitstate.add(fingerprint)
+        assert self._exact is not None
+        if fingerprint in self._exact:
+            return True
+        self._exact.add(fingerprint)
+        return False
+
+    def __len__(self) -> int:
+        if self.bitstate is not None:
+            return self.bitstate.added
+        assert self._exact is not None
+        return len(self._exact)
+
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint of the visited structure."""
+        if self.bitstate is not None:
+            return self.bitstate.approximate_bytes()
+        assert self._exact is not None
+        # A Python set entry costs roughly 60 bytes for a 64-bit int member.
+        return len(self._exact) * 60

@@ -1,0 +1,66 @@
+"""Violation trails: the event sequence leading to a bad converged state.
+
+When a policy fails, Plankton "writes a trail file describing the execution
+path taken to reach the particular converged state" (paper §3.5).  The
+:class:`Trail` here is that artifact: the ordered non-deterministic choices
+(failures applied, RPVP steps taken) plus a description of the violating
+state, renderable as text for operators and inspectable programmatically by
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TrailStep:
+    """One event on the path to the violating state."""
+
+    kind: str          # e.g. "failure", "rpvp-step", "note"
+    description: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.description}"
+
+
+@dataclass
+class Trail:
+    """The recorded execution path to a policy violation."""
+
+    policy: str
+    pec_description: str
+    steps: List[TrailStep] = field(default_factory=list)
+    violation_description: str = ""
+    data_plane_dump: str = ""
+
+    def add(self, kind: str, description: str) -> None:
+        """Append one step."""
+        self.steps.append(TrailStep(kind=kind, description=description))
+
+    def render(self) -> str:
+        """The full trail as human-readable text (the "trail file" contents)."""
+        lines = [
+            f"Policy violation: {self.policy}",
+            f"Equivalence class: {self.pec_description}",
+            "Execution path:",
+        ]
+        if not self.steps:
+            lines.append("  (deterministic execution; no choices recorded)")
+        for position, step in enumerate(self.steps, start=1):
+            lines.append(f"  {position:3d}. {step.render()}")
+        if self.violation_description:
+            lines.append(f"Violation: {self.violation_description}")
+        if self.data_plane_dump:
+            lines.append("Converged data plane:")
+            lines.extend("  " + line for line in self.data_plane_dump.splitlines())
+        return "\n".join(lines)
+
+    def write(self, path: str) -> None:
+        """Write the rendered trail to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render() + "\n")
+
+    def __len__(self) -> int:
+        return len(self.steps)

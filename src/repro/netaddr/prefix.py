@@ -1,0 +1,262 @@
+"""IPv4 prefixes and address ranges.
+
+Prefixes are the unit of configuration in the paper (advertised networks,
+static-route destinations, route-map matches).  Address ranges are the unit of
+Packet Equivalence Classes: the trie traversal of §3.1 produces contiguous
+``[low, high]`` ranges of the 32-bit destination space.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.exceptions import AddressError
+from repro.netaddr.address import MAX_IPV4, IPv4Address, int_to_ip, ip_to_int
+
+
+@functools.total_ordering
+class Prefix:
+    """An immutable IPv4 prefix (network address + prefix length).
+
+    The network address is canonicalised: host bits below the prefix length
+    are cleared, so ``Prefix("10.0.1.7/24")`` equals ``Prefix("10.0.1.0/24")``.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(
+        self,
+        network: Union[str, int, IPv4Address],
+        length: int | None = None,
+    ) -> None:
+        if isinstance(network, str) and length is None:
+            if "/" not in network:
+                raise AddressError(f"prefix {network!r} missing '/length'")
+            addr_text, _, length_text = network.partition("/")
+            if not length_text.isdigit():
+                raise AddressError(f"invalid prefix length in {network!r}")
+            length = int(length_text)
+            network = ip_to_int(addr_text)
+        elif isinstance(network, str):
+            network = ip_to_int(network)
+        elif isinstance(network, IPv4Address):
+            network = network.value
+        if length is None:
+            raise AddressError("prefix length is required")
+        if not 0 <= length <= 32:
+            raise AddressError(f"invalid prefix length {length}")
+        if not 0 <= network <= MAX_IPV4:
+            raise AddressError(f"network address out of range: {network}")
+        mask = self._mask_for(length)
+        self._network = network & mask
+        self._length = length
+
+    @staticmethod
+    def _mask_for(length: int) -> int:
+        if length == 0:
+            return 0
+        return (MAX_IPV4 << (32 - length)) & MAX_IPV4
+
+    @property
+    def network(self) -> int:
+        """The canonical network address as a 32-bit integer."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """The prefix length (0-32)."""
+        return self._length
+
+    @property
+    def mask(self) -> int:
+        """The netmask as a 32-bit integer."""
+        return self._mask_for(self._length)
+
+    @property
+    def first(self) -> int:
+        """The lowest address covered by this prefix."""
+        return self._network
+
+    @property
+    def last(self) -> int:
+        """The highest address covered by this prefix."""
+        return self._network | (MAX_IPV4 >> self._length if self._length else MAX_IPV4)
+
+    @property
+    def size(self) -> int:
+        """The number of addresses covered by this prefix."""
+        return 1 << (32 - self._length)
+
+    def contains_address(self, address: Union[int, str, IPv4Address]) -> bool:
+        """Return True if ``address`` falls inside this prefix."""
+        if isinstance(address, str):
+            address = ip_to_int(address)
+        elif isinstance(address, IPv4Address):
+            address = address.value
+        return self.first <= address <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Return True if ``other`` is fully covered by this prefix."""
+        return self._length <= other._length and (
+            other._network & self.mask
+        ) == self._network
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Return True if the two prefixes share at least one address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+    def bits(self) -> Iterator[int]:
+        """Yield the prefix bits most-significant first (``length`` bits)."""
+        for position in range(self._length):
+            yield (self._network >> (31 - position)) & 1
+
+    def subnets(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two child prefixes of length+1."""
+        if self._length >= 32:
+            raise AddressError("cannot split a /32 prefix")
+        child_length = self._length + 1
+        left = Prefix(self._network, child_length)
+        right = Prefix(self._network | (1 << (32 - child_length)), child_length)
+        return left, right
+
+    def to_range(self) -> "AddressRange":
+        """The contiguous address range covered by this prefix."""
+        return AddressRange(self.first, self.last)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return self._network == other._network and self._length == other._length
+        if isinstance(other, str):
+            try:
+                return self == Prefix(other)
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return hash((self._network, self._length))
+
+
+def prefix_contains(outer: Prefix, inner: Prefix) -> bool:
+    """Module-level alias for :meth:`Prefix.contains_prefix`."""
+    return outer.contains_prefix(inner)
+
+
+def prefixes_overlap(left: Prefix, right: Prefix) -> bool:
+    """Module-level alias for :meth:`Prefix.overlaps`."""
+    return left.overlaps(right)
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A contiguous, inclusive range ``[low, high]`` of IPv4 addresses.
+
+    Packet Equivalence Classes are represented by these ranges (paper §3.1,
+    Figure 4): the trie traversal partitions the 32-bit space into consecutive
+    ranges at prefix boundaries.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= MAX_IPV4:
+            raise AddressError(f"range low out of bounds: {self.low}")
+        if not 0 <= self.high <= MAX_IPV4:
+            raise AddressError(f"range high out of bounds: {self.high}")
+        if self.low > self.high:
+            raise AddressError(f"empty range: low {self.low} > high {self.high}")
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the range."""
+        return self.high - self.low + 1
+
+    def contains_address(self, address: Union[int, str, IPv4Address]) -> bool:
+        """Return True if ``address`` falls inside this range."""
+        if isinstance(address, str):
+            address = ip_to_int(address)
+        elif isinstance(address, IPv4Address):
+            address = address.value
+        return self.low <= address <= self.high
+
+    def contains_prefix(self, prefix: Prefix) -> bool:
+        """Return True if ``prefix`` is fully covered by this range."""
+        return self.low <= prefix.first and prefix.last <= self.high
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """Return True if the two ranges share at least one address."""
+        return self.low <= other.high and other.low <= self.high
+
+    def intersection(self, other: "AddressRange") -> "AddressRange | None":
+        """The overlapping sub-range, or None if disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return AddressRange(low, high)
+
+    def representative(self) -> int:
+        """A single address usable as a witness packet for this range."""
+        return self.low
+
+    def to_prefixes(self) -> List[Prefix]:
+        """Decompose the range into a minimal list of aligned prefixes."""
+        return summarize_range(self.low, self.high)
+
+    def __str__(self) -> str:
+        return f"[{int_to_ip(self.low)}, {int_to_ip(self.high)}]"
+
+
+def summarize_range(low: int, high: int) -> List[Prefix]:
+    """Return the minimal list of prefixes exactly covering ``[low, high]``.
+
+    This is the classic CIDR summarisation algorithm: repeatedly emit the
+    largest aligned prefix that starts at ``low`` and does not extend past
+    ``high``.
+    """
+    if low > high:
+        raise AddressError(f"empty range: {low} > {high}")
+    prefixes: List[Prefix] = []
+    cursor = low
+    while cursor <= high:
+        # Largest block size allowed by alignment of ``cursor``.
+        if cursor == 0:
+            align_bits = 32
+        else:
+            align_bits = (cursor & -cursor).bit_length() - 1
+        # Largest block size that still fits under ``high``.
+        remaining = high - cursor + 1
+        fit_bits = remaining.bit_length() - 1
+        bits = min(align_bits, fit_bits)
+        prefixes.append(Prefix(cursor, 32 - bits))
+        cursor += 1 << bits
+        if cursor > MAX_IPV4:
+            break
+    return prefixes
+
+
+def coalesce_ranges(ranges: Iterable[AddressRange]) -> List[AddressRange]:
+    """Merge overlapping or adjacent ranges into a sorted disjoint list."""
+    ordered = sorted(ranges, key=lambda r: (r.low, r.high))
+    merged: List[AddressRange] = []
+    for current in ordered:
+        if merged and current.low <= merged[-1].high + 1:
+            previous = merged[-1]
+            merged[-1] = AddressRange(previous.low, max(previous.high, current.high))
+        else:
+            merged.append(current)
+    return merged

@@ -1,0 +1,19 @@
+"""Packet Equivalence Class computation and dependency analysis (paper §3.1-3.2)."""
+
+from repro.pec.trie import PrefixTrie, TrieNode
+from repro.pec.classes import PacketEquivalenceClass, compute_pecs
+from repro.pec.dependencies import (
+    PecDependencyGraph,
+    build_dependency_graph,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "PrefixTrie",
+    "TrieNode",
+    "PacketEquivalenceClass",
+    "compute_pecs",
+    "PecDependencyGraph",
+    "build_dependency_graph",
+    "strongly_connected_components",
+]

@@ -1,0 +1,127 @@
+"""The policy API.
+
+Plankton does not define a policy language; "a policy is simply an arbitrary
+function computed over a data plane state and returning a Boolean value"
+(paper §3.5).  The verifier invokes the policy's :meth:`Policy.check`
+callback for every converged data plane of every relevant PEC, passing the
+data plane, the PEC, and the converged data planes of any PECs the current
+one depends on.
+
+A policy can help the verifier's optimizations by declaring *source nodes*
+(forwarding only needs to be checked from these) and *interesting nodes*
+(waypoints and the like): policy-based pruning (§4.2) stops protocol
+execution once all sources have decided, and the failure-choice reduction
+(§4.3) keeps interesting nodes in singleton device classes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.objects import NetworkConfig
+from repro.dataplane import DataPlane
+from repro.pec.classes import PacketEquivalenceClass
+from repro.topology.failures import FailureScenario
+
+
+@dataclass
+class PolicyCheckContext:
+    """Everything a policy callback may inspect for one converged state."""
+
+    network: NetworkConfig
+    pec: PacketEquivalenceClass
+    data_plane: DataPlane
+    failure: FailureScenario = field(default_factory=FailureScenario)
+    #: Converged data planes of the PECs this PEC depends on, keyed by PEC index.
+    dependencies: Dict[int, DataPlane] = field(default_factory=dict)
+    #: Optional converged control-plane state (per device best routes), for
+    #: policies such as Path Consistency that look beyond the data plane.
+    control_plane: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def destination(self) -> int:
+        """The witness destination address of the PEC."""
+        return self.pec.representative_address()
+
+
+@dataclass
+class PolicyResult:
+    """Aggregated verdict of a policy across all PECs and converged states."""
+
+    policy: str
+    holds: bool
+    violations: List[str] = field(default_factory=list)
+    checked_states: int = 0
+
+    def merge(self, other: "PolicyResult") -> "PolicyResult":
+        """Combine with a result from another PEC/run."""
+        return PolicyResult(
+            policy=self.policy,
+            holds=self.holds and other.holds,
+            violations=self.violations + other.violations,
+            checked_states=self.checked_states + other.checked_states,
+        )
+
+
+class Policy(abc.ABC):
+    """Base class for data-plane policies."""
+
+    #: Human-readable policy name (used in trails and results).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def check(self, context: PolicyCheckContext) -> Optional[str]:
+        """Return a violation description, or None when the policy holds."""
+
+    # ------------------------------------------------------------------ hints
+    def applies_to(self, pec: PacketEquivalenceClass) -> bool:
+        """Whether this policy cares about ``pec`` at all.
+
+        The default applies to every PEC with at least one configured prefix;
+        policies that target a specific destination override this.
+        """
+        return not pec.is_empty
+
+    def source_nodes(self, pec: PacketEquivalenceClass) -> Optional[List[str]]:
+        """Nodes forwarding must be checked from (None = every node)."""
+        return None
+
+    def interesting_nodes(self, pec: PacketEquivalenceClass) -> Optional[List[str]]:
+        """Nodes whose position on paths matters (None = every node)."""
+        return None
+
+    def state_signature(
+        self, context: PolicyCheckContext
+    ) -> Optional[Tuple]:
+        """An equivalence signature of the converged state for this policy.
+
+        Two converged data planes with the same signature need not both be
+        checked (paper §3.5: same path lengths from the sources and the same
+        interesting nodes at the same positions).  ``None`` disables the
+        suppression for this policy.
+        """
+        sources = self.source_nodes(context.pec)
+        if sources is None:
+            return None
+        interesting = self.interesting_nodes(context.pec)
+        from repro.dataplane.forwarding import trace_paths
+
+        signature: List[Tuple] = []
+        for source in sorted(sources):
+            branches = trace_paths(context.data_plane, source, context.destination)
+            for branch in sorted(branches, key=lambda b: b.nodes):
+                if interesting is None:
+                    marks = tuple(branch.nodes)
+                else:
+                    marks = tuple(
+                        (position, node)
+                        for position, node in enumerate(branch.nodes)
+                        if node in interesting
+                    )
+                signature.append((source, branch.length, branch.status.value, marks))
+        return tuple(signature)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

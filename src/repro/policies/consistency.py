@@ -1,0 +1,143 @@
+"""Consistency policies: multipath consistency and path consistency.
+
+* **Multipath consistency** (from Minesweeper's policy set, checked by the
+  paper on real-world networks, Figure 7(i)): when a device has multiple
+  next hops for the PEC, every branch must lead to the same outcome — either
+  all branches deliver the traffic or none does.
+
+* **Path consistency** (paper §3.5, class (i)): a policy that inspects the
+  converged *control-plane* state in addition to the data plane.  For a set
+  of devices, both their selected routes and their forwarding paths must be
+  identical (up to the device itself), similar to Minesweeper's Local
+  Equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import PolicyError
+from repro.netaddr import Prefix
+from repro.dataplane.forwarding import PathStatus, trace_paths
+from repro.pec.classes import PacketEquivalenceClass
+from repro.policies.base import Policy, PolicyCheckContext
+
+
+class MultipathConsistency(Policy):
+    """All ECMP branches from each device must have the same delivery outcome."""
+
+    name = "multipath-consistency"
+
+    def __init__(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        destination_prefix: Optional[Prefix] = None,
+    ) -> None:
+        self.sources = list(sources) if sources is not None else None
+        self.destination_prefix = destination_prefix
+
+    def applies_to(self, pec: PacketEquivalenceClass) -> bool:
+        if pec.is_empty:
+            return False
+        if self.destination_prefix is None:
+            return True
+        return pec.address_range.overlaps(self.destination_prefix.to_range())
+
+    def source_nodes(self, pec: PacketEquivalenceClass) -> Optional[List[str]]:
+        return list(self.sources) if self.sources is not None else None
+
+    def check(self, context: PolicyCheckContext) -> Optional[str]:
+        devices = self.sources if self.sources is not None else context.data_plane.devices()
+        destination = context.destination
+        for device in devices:
+            entry = context.data_plane.lookup(device, destination)
+            if entry is None or len(entry.next_hops) < 2:
+                continue
+            outcomes = set()
+            for branch in trace_paths(context.data_plane, device, destination):
+                delivered = branch.status == PathStatus.DELIVERED
+                outcomes.add(delivered)
+            if len(outcomes) > 1:
+                return (
+                    f"{device} load-balances traffic to {context.pec.address_range} "
+                    "across paths with different outcomes (some deliver, some do not)"
+                )
+        return None
+
+
+class PathConsistency(Policy):
+    """A set of devices must agree on both control-plane choice and data-plane path.
+
+    The devices in ``device_group`` are expected to behave identically for the
+    PEC: their selected routes (control-plane state, as recorded by the
+    verifier in ``context.control_plane``) must rank the same way, and the
+    forwarding paths from them must be identical once the first hop is left
+    (they typically sit behind a common pair of upstreams).
+    """
+
+    name = "path-consistency"
+
+    def __init__(
+        self,
+        device_group: Sequence[str],
+        destination_prefix: Optional[Prefix] = None,
+        compare_suffix_only: bool = True,
+    ) -> None:
+        if len(device_group) < 2:
+            raise PolicyError("path consistency needs at least two devices to compare")
+        self.device_group = list(device_group)
+        self.destination_prefix = destination_prefix
+        self.compare_suffix_only = compare_suffix_only
+
+    def applies_to(self, pec: PacketEquivalenceClass) -> bool:
+        if pec.is_empty:
+            return False
+        if self.destination_prefix is None:
+            return True
+        return pec.address_range.overlaps(self.destination_prefix.to_range())
+
+    def source_nodes(self, pec: PacketEquivalenceClass) -> Optional[List[str]]:
+        return list(self.device_group)
+
+    def _path_signature(self, context: PolicyCheckContext, device: str) -> Tuple:
+        branches = trace_paths(context.data_plane, device, context.destination)
+        signature = []
+        for branch in sorted(branches, key=lambda b: b.nodes):
+            nodes = branch.nodes[1:] if self.compare_suffix_only else branch.nodes
+            signature.append((nodes, branch.status.value))
+        return tuple(signature)
+
+    def _control_signature(self, context: PolicyCheckContext, device: str) -> Optional[Tuple]:
+        state = context.control_plane.get(device)
+        if state is None:
+            return None
+        # The verifier stores the selected Route; compare everything except
+        # the concrete next hop (which legitimately differs per device).
+        route = state
+        try:
+            return (
+                route.source.name,        # type: ignore[attr-defined]
+                route.local_pref,         # type: ignore[attr-defined]
+                route.as_path_length,     # type: ignore[attr-defined]
+                route.med,                # type: ignore[attr-defined]
+            )
+        except AttributeError:
+            return None
+
+    def check(self, context: PolicyCheckContext) -> Optional[str]:
+        reference_device = self.device_group[0]
+        reference_path = self._path_signature(context, reference_device)
+        reference_control = self._control_signature(context, reference_device)
+        for device in self.device_group[1:]:
+            if self._path_signature(context, device) != reference_path:
+                return (
+                    f"devices {reference_device} and {device} forward traffic to "
+                    f"{context.pec.address_range} along different paths"
+                )
+            control = self._control_signature(context, device)
+            if reference_control is not None and control is not None and control != reference_control:
+                return (
+                    f"devices {reference_device} and {device} selected routes with "
+                    f"different attributes for {context.pec.address_range}"
+                )
+        return None

@@ -1,0 +1,41 @@
+"""Loop-freedom policy: the data plane must contain no forwarding loop."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dataplane.forwarding import ForwardingGraph
+from repro.netaddr import Prefix
+from repro.pec.classes import PacketEquivalenceClass
+from repro.policies.base import Policy, PolicyCheckContext
+
+
+class LoopFreedom(Policy):
+    """No packet of the PEC may be forwarded around a cycle.
+
+    As the paper notes, a loop policy "can't optimize as aggressively: it has
+    to consider all sources", so this policy declares no source nodes and the
+    whole forwarding graph is analysed.
+    """
+
+    name = "loop-freedom"
+
+    def __init__(self, destination_prefix: Optional[Prefix] = None) -> None:
+        self.destination_prefix = destination_prefix
+
+    def applies_to(self, pec: PacketEquivalenceClass) -> bool:
+        if pec.is_empty:
+            return False
+        if self.destination_prefix is None:
+            return True
+        return pec.address_range.overlaps(self.destination_prefix.to_range())
+
+    def check(self, context: PolicyCheckContext) -> Optional[str]:
+        graph = ForwardingGraph(context.data_plane, context.destination)
+        cycle = graph.has_cycle()
+        if cycle is not None:
+            return (
+                f"forwarding loop for {context.pec.address_range}: "
+                + " -> ".join(cycle)
+            )
+        return None

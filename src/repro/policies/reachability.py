@@ -1,0 +1,72 @@
+"""Reachability policy: traffic from the sources must be delivered."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import PolicyError
+from repro.netaddr import Prefix
+from repro.dataplane.forwarding import PathStatus, trace_paths
+from repro.pec.classes import PacketEquivalenceClass
+from repro.policies.base import Policy, PolicyCheckContext
+
+
+class Reachability(Policy):
+    """Every packet of the PEC sent from each source node must be delivered.
+
+    Args:
+        sources: Nodes traffic is injected at.  ``None`` means every device.
+        destination_prefix: Restrict the check to PECs overlapping this
+            prefix (e.g. a single advertised destination).  ``None`` checks
+            every PEC the verifier analyses.
+        require_all_branches: When True (default) every ECMP branch must be
+            delivered; when False one delivered branch suffices.
+    """
+
+    name = "reachability"
+
+    def __init__(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        destination_prefix: Optional[Prefix] = None,
+        require_all_branches: bool = True,
+    ) -> None:
+        if sources is not None and not sources:
+            raise PolicyError("reachability needs at least one source (or None for all)")
+        self.sources = list(sources) if sources is not None else None
+        self.destination_prefix = destination_prefix
+        self.require_all_branches = require_all_branches
+
+    def applies_to(self, pec: PacketEquivalenceClass) -> bool:
+        if pec.is_empty:
+            return False
+        if self.destination_prefix is None:
+            return True
+        return pec.address_range.overlaps(self.destination_prefix.to_range())
+
+    def source_nodes(self, pec: PacketEquivalenceClass) -> Optional[List[str]]:
+        return list(self.sources) if self.sources is not None else None
+
+    def check(self, context: PolicyCheckContext) -> Optional[str]:
+        sources = self.sources if self.sources is not None else context.data_plane.devices()
+        destination = context.destination
+        for source in sources:
+            if source not in context.data_plane.fibs:
+                raise PolicyError(f"reachability source {source!r} is not a device")
+            branches = trace_paths(context.data_plane, source, destination)
+            delivered = [b for b in branches if b.status == PathStatus.DELIVERED]
+            failed = [b for b in branches if b.status != PathStatus.DELIVERED]
+            if self.require_all_branches:
+                if failed:
+                    return (
+                        f"traffic from {source} to {context.pec.address_range} is not "
+                        f"delivered on all branches: {failed[0].describe()}"
+                    )
+            else:
+                if not delivered:
+                    reason = failed[0].describe() if failed else "no forwarding entry"
+                    return (
+                        f"traffic from {source} to {context.pec.address_range} is never "
+                        f"delivered ({reason})"
+                    )
+        return None

@@ -1,0 +1,255 @@
+"""BGP as a path-vector protocol instance.
+
+:class:`BgpInstance` realises the paper's extended-SPVP abstraction for BGP
+(§3.4.1): import/export filters and ranking functions are inferred from the
+device configurations (route maps, prefix lists, session types), and the
+ranking function follows the BGP decision process — local preference, AS-path
+length, MED, eBGP-over-iBGP, IGP cost to the next hop — with remaining ties
+left unordered so the model checker explores the age-based tie-breaking
+non-determinism of real BGP (the Figure 7(c) workload).
+
+iBGP specifics modelled here:
+
+* iBGP sessions ride on the IGP: the session between two speakers is only up
+  when the IGP provides a route to the peer's loopback.  The verifier feeds
+  that information in via ``session_up`` (computed from the converged states
+  of the loopback PECs, §3.2).
+* Routes learned from an iBGP peer are not re-advertised to other iBGP peers
+  (standard full-mesh loop prevention), unless the exporter is configured as
+  a route reflector for the target.
+* The IGP cost used by the decision process can change when topology changes
+  alter OSPF distances — this is the "ranking function may change" extension;
+  here the ranking is always evaluated against the latest IGP costs supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config.objects import (
+    BgpNeighbor,
+    NetworkConfig,
+    DEFAULT_LOCAL_PREF,
+)
+from repro.exceptions import ProtocolError
+from repro.netaddr import Prefix
+from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route, RouteSource
+from repro.protocols.filters import apply_route_map, maximum_local_pref
+
+#: Type of the callable deciding whether an iBGP session is currently usable.
+SessionPredicate = Callable[[str, str], bool]
+
+#: Type of the callable giving the IGP cost from a node to a peer.
+IgpCostFunction = Callable[[str, str], float]
+
+
+def _always_up(_a: str, _b: str) -> bool:
+    return True
+
+
+def _zero_igp_cost(_a: str, _b: str) -> float:
+    return 0.0
+
+
+class BgpInstance(PathVectorInstance):
+    """The BGP control plane for one prefix, as a :class:`PathVectorInstance`."""
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        prefix: Prefix,
+        failed_links: Optional[Set[int]] = None,
+        session_up: SessionPredicate = _always_up,
+        igp_cost: IgpCostFunction = _zero_igp_cost,
+        deterministic_tiebreak: bool = False,
+    ) -> None:
+        self.network = network
+        self.prefix = prefix
+        self.failed_links = set(failed_links or ())
+        self.session_up = session_up
+        self.igp_cost = igp_cost
+        self.deterministic_tiebreak = deterministic_tiebreak
+        self.name = f"bgp:{prefix}"
+
+        self._speakers: List[str] = [
+            name for name, cfg in network.devices.items() if cfg.bgp is not None
+        ]
+        self._speaker_set = set(self._speakers)
+        self._origins = [
+            name
+            for name in self._speakers
+            if any(p.contains_prefix(prefix) for p in network.device(name).bgp.networks)
+        ]
+        self._peers_cache: Dict[str, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------ structure
+    def nodes(self) -> Sequence[str]:
+        return list(self._speakers)
+
+    def origins(self) -> Sequence[str]:
+        return list(self._origins)
+
+    def _session(self, node: str, peer: str) -> Optional[BgpNeighbor]:
+        bgp = self.network.device(node).bgp
+        if bgp is None:
+            return None
+        return bgp.neighbor(peer)
+
+    def _session_usable(self, node: str, peer: str) -> bool:
+        """Whether the node->peer session can currently exchange routes."""
+        session = self._session(node, peer)
+        reverse = self._session(peer, node)
+        if session is None or reverse is None:
+            return False
+        local_asn = self.network.device(node).bgp.asn
+        if session.is_ibgp(local_asn):
+            # iBGP rides on the IGP; usability is decided by the caller-supplied
+            # predicate (loopback reachability under the current failures).
+            return self.session_up(node, peer)
+        # eBGP: single-hop sessions need a live physical link.
+        live = self.network.topology.links_between(node, peer)
+        return any(link.link_id not in self.failed_links for link in live)
+
+    def peers(self, node: str) -> Sequence[str]:
+        cached = self._peers_cache.get(node)
+        if cached is not None:
+            return cached
+        bgp = self.network.device(node).bgp
+        if bgp is None:
+            result: Tuple[str, ...] = ()
+        else:
+            result = tuple(
+                sorted(
+                    session.peer
+                    for session in bgp.neighbors
+                    if session.peer in self._speaker_set and self._session_usable(node, session.peer)
+                )
+            )
+        self._peers_cache[node] = result
+        return result
+
+    def invalidate_session_cache(self) -> None:
+        """Drop cached peer sets (after failures or session changes)."""
+        self._peers_cache.clear()
+
+    # ------------------------------------------------------------------ filters
+    def export(self, exporter: str, importer: str, route: Optional[Route]) -> Optional[Route]:
+        if route is None:
+            return None
+        exporter_cfg = self.network.device(exporter)
+        session = exporter_cfg.bgp.neighbor(importer) if exporter_cfg.bgp else None
+        if session is None:
+            return None
+        local_asn = exporter_cfg.bgp.asn
+        session_is_ibgp = session.is_ibgp(local_asn)
+        # iBGP loop prevention: do not pass iBGP-learned routes to iBGP peers
+        # unless acting as a route reflector for the client.
+        if session_is_ibgp and route.source == RouteSource.IBGP and not session.route_reflector_client:
+            return None
+        result = apply_route_map(exporter_cfg, session.export_map, self.prefix, route)
+        if not result.permitted or result.route is None:
+            return None
+        exported = result.route
+        as_path_length = exported.as_path_length + (0 if session_is_ibgp else 1)
+        return replace(
+            exported,
+            path=exported.path.prepend(exporter),
+            as_path_length=as_path_length,
+        )
+
+    def import_(self, importer: str, exporter: str, route: Optional[Route]) -> Optional[Route]:
+        if route is None:
+            return None
+        importer_cfg = self.network.device(importer)
+        session = importer_cfg.bgp.neighbor(exporter) if importer_cfg.bgp else None
+        if session is None:
+            return None
+        local_asn = importer_cfg.bgp.asn
+        session_is_ibgp = session.is_ibgp(local_asn)
+        if session_is_ibgp:
+            source = RouteSource.IBGP
+            local_pref = route.local_pref  # local-pref is carried across iBGP
+            # The IGP cost to the next hop matters for iBGP-learned routes.
+            igp_cost = int(self.igp_cost(importer, exporter))
+        else:
+            source = RouteSource.EBGP
+            local_pref = importer_cfg.bgp.default_local_pref
+            # eBGP peers are directly connected; no IGP recursion is involved.
+            igp_cost = 0
+        imported = replace(
+            route,
+            source=source,
+            local_pref=local_pref,
+            igp_cost=igp_cost,
+        )
+        result = apply_route_map(importer_cfg, session.import_map, self.prefix, imported)
+        if not result.permitted or result.route is None:
+            return None
+        return result.route
+
+    # ------------------------------------------------------------------ ranking
+    def rank(self, node: str, route: Route) -> Tuple:
+        """The BGP decision process as a sort key (lower is preferred).
+
+        Steps: highest local preference, shortest AS path, lowest MED, eBGP
+        over iBGP, lowest IGP cost to the next hop.  Remaining ties are left
+        unordered (partial order) unless ``deterministic_tiebreak`` adds the
+        next-hop name as a final tie-breaker (a stand-in for lowest router id).
+        """
+        if route.path == EPSILON:
+            # A locally originated route is always preferred.
+            return (-(10 ** 9), 0, 0, 0, 0) + (("",) if self.deterministic_tiebreak else ())
+        key = (
+            -route.local_pref,
+            route.as_path_length,
+            route.med,
+            0 if route.source == RouteSource.EBGP else 1,
+            route.igp_cost,
+        )
+        if self.deterministic_tiebreak:
+            key = key + (route.next_hop or "",)
+        return key
+
+    def multipath_allowed(self, node: str) -> bool:
+        # The paper's prototype (and this reproduction) does not support BGP
+        # multipath (§6); the configuration flag exists but is ignored here.
+        return False
+
+    # ------------------------------------------------------------------ helpers
+    def origin_route(self, node: str) -> Route:
+        """The locally originated route of an origin node."""
+        if node not in self._origins:
+            raise ProtocolError(f"{node} does not originate {self.prefix} into BGP")
+        return Route(
+            path=EPSILON,
+            source=RouteSource.EBGP,
+            local_pref=self.network.device(node).bgp.default_local_pref,
+            as_path_length=0,
+            origin_node=node,
+        )
+
+    def highest_possible_local_pref(self, node: str) -> int:
+        """Upper bound on the local preference any import at ``node`` can assign."""
+        config = self.network.device(node)
+        default = config.bgp.default_local_pref if config.bgp else DEFAULT_LOCAL_PREF
+        return maximum_local_pref(config, default)
+
+
+def build_bgp_instance(
+    network: NetworkConfig,
+    prefix: Prefix,
+    failed_links: Optional[Set[int]] = None,
+    session_up: SessionPredicate = _always_up,
+    igp_cost: IgpCostFunction = _zero_igp_cost,
+    deterministic_tiebreak: bool = False,
+) -> BgpInstance:
+    """Convenience constructor mirroring :func:`build_ospf_instance`."""
+    return BgpInstance(
+        network,
+        prefix,
+        failed_links=failed_links,
+        session_up=session_up,
+        igp_cost=igp_cost,
+        deterministic_tiebreak=deterministic_tiebreak,
+    )

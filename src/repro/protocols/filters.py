@@ -1,0 +1,162 @@
+"""Route-map and prefix-list evaluation.
+
+Route maps are the concrete syntax from which the abstract import/export
+filters of the protocol model are inferred (paper §3.4.1 and Appendix B).
+:func:`apply_route_map` evaluates an ordered route map against a candidate
+route for a given prefix and returns either a transformed route or a denial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.objects import DeviceConfig, RouteMap, RouteMapClause
+from repro.netaddr import Prefix
+from repro.protocols.base import Route
+
+
+@dataclass(frozen=True)
+class RouteMapResult:
+    """Outcome of evaluating a route map: permitted or not, and the new route."""
+
+    permitted: bool
+    route: Optional[Route] = None
+    matched_sequence: Optional[int] = None
+
+
+def _clause_matches(
+    clause: RouteMapClause,
+    device: DeviceConfig,
+    prefix: Prefix,
+    route: Route,
+) -> bool:
+    """Whether ``clause`` matches ``route`` advertised for ``prefix``."""
+    match = clause.match
+    if match.is_empty():
+        return True
+    if match.prefix_list is not None:
+        if not device.prefix_list(match.prefix_list).permits(prefix):
+            return False
+    if match.prefixes:
+        if not any(candidate.contains_prefix(prefix) for candidate in match.prefixes):
+            return False
+    if match.communities:
+        if not all(community in route.communities for community in match.communities):
+            return False
+    if match.min_prefix_length is not None and prefix.length < match.min_prefix_length:
+        return False
+    if match.max_prefix_length is not None and prefix.length > match.max_prefix_length:
+        return False
+    if match.as_path_contains is not None:
+        # The abstract model tracks AS-path length, not the member ASes; a
+        # "contains" match is approximated by requiring a non-empty path.
+        if route.as_path_length == 0:
+            return False
+    return True
+
+
+def _apply_actions(clause: RouteMapClause, route: Route) -> Route:
+    """Apply the clause's set actions to ``route`` and return the new route."""
+    actions = clause.actions
+    updates = {}
+    if actions.local_preference is not None:
+        updates["local_pref"] = actions.local_preference
+    if actions.med is not None:
+        updates["med"] = actions.med
+    if actions.prepend_count:
+        updates["as_path_length"] = route.as_path_length + actions.prepend_count
+    if actions.add_communities or actions.remove_communities:
+        communities = set(route.communities)
+        communities.update(actions.add_communities)
+        communities.difference_update(actions.remove_communities)
+        updates["communities"] = frozenset(communities)
+    if not updates:
+        return route
+    from dataclasses import replace
+
+    return replace(route, **updates)
+
+
+def apply_route_map(
+    device: DeviceConfig,
+    route_map_name: Optional[str],
+    prefix: Prefix,
+    route: Route,
+) -> RouteMapResult:
+    """Evaluate the named route map on ``route`` for ``prefix``.
+
+    A missing route-map name means "no policy": the route is permitted
+    unchanged.  Route maps end in an implicit deny, matching vendor
+    behaviour.
+    """
+    if route_map_name is None:
+        return RouteMapResult(permitted=True, route=route)
+    route_map = device.route_map(route_map_name)
+    for clause in route_map.sorted_clauses():
+        if _clause_matches(clause, device, prefix, route):
+            if not clause.permit:
+                return RouteMapResult(permitted=False, matched_sequence=clause.sequence)
+            return RouteMapResult(
+                permitted=True,
+                route=_apply_actions(clause, route),
+                matched_sequence=clause.sequence,
+            )
+    return RouteMapResult(permitted=False)
+
+
+def route_map_sets_highest_local_pref(
+    device: DeviceConfig,
+    route_map_name: Optional[str],
+    prefix: Prefix,
+    ceiling: int,
+) -> bool:
+    """Whether the route map unconditionally grants local-pref >= ``ceiling``.
+
+    Used by the deterministic-node detection heuristic for BGP (paper
+    §4.1.2): an update is a guaranteed local-pref winner only if it matches an
+    import clause that explicitly gives it the highest local preference among
+    all import filters, independent of attributes we cannot predict
+    (communities assigned upstream, etc.).  The check is conservative: only
+    clauses with an empty match or a pure prefix match count.
+    """
+    if route_map_name is None:
+        return False
+    route_map = device.route_maps.get(route_map_name)
+    if route_map is None:
+        return False
+    for clause in route_map.sorted_clauses():
+        unconditional = clause.match.is_empty() or (
+            not clause.match.communities
+            and clause.match.as_path_contains is None
+            and _prefix_only_match(clause, device, prefix)
+        )
+        if not unconditional:
+            # A conditional clause earlier in the map may or may not fire; we
+            # cannot be sure the unconditional one below is reached.
+            return False
+        if clause.permit and clause.actions.local_preference is not None:
+            return clause.actions.local_preference >= ceiling
+        if clause.permit:
+            return False
+    return False
+
+
+def _prefix_only_match(clause: RouteMapClause, device: DeviceConfig, prefix: Prefix) -> bool:
+    """True if the clause's match depends only on the prefix and matches it."""
+    match = clause.match
+    if match.prefix_list is not None and not device.prefix_list(match.prefix_list).permits(prefix):
+        return False
+    if match.prefixes and not any(p.contains_prefix(prefix) for p in match.prefixes):
+        return False
+    return True
+
+
+def maximum_local_pref(device: DeviceConfig, default_local_pref: int) -> int:
+    """The highest local preference any import policy on ``device`` can assign."""
+    highest = default_local_pref
+    for route_map in device.route_maps.values():
+        for clause in route_map.clauses:
+            if clause.permit and clause.actions.local_preference is not None:
+                highest = max(highest, clause.actions.local_preference)
+    return highest

@@ -1,0 +1,202 @@
+"""OSPF shortest-path computation.
+
+OSPF is deterministic: given a topology, link costs and the set of origins of
+a prefix, the converged state is a shortest-path DAG toward the closest
+origin, with ECMP when several neighbours lie on equal-cost shortest paths.
+
+Two consumers use this module:
+
+* the OSPF :class:`~repro.protocols.ospf_instance.OspfInstance` path-vector
+  model, whose deterministic-node detection heuristic (paper §4.1.2: "picks
+  each node only after all nodes with shorter paths have executed") needs the
+  network-wide distance computation, cached per (topology, failures, origins);
+* the FIB builder, which needs per-node next hops for redistributed and
+  directly computed OSPF routes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.config.objects import NetworkConfig, DEFAULT_OSPF_COST
+from repro.netaddr import Prefix
+from repro.topology import Topology
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class OspfRoutingTable:
+    """Result of an OSPF computation for one prefix.
+
+    Attributes:
+        distances: Cost of the best path from each node to its closest origin
+            (absent when unreachable).
+        next_hops: For each node, the sorted tuple of ECMP next hops on
+            shortest paths (empty for origins and unreachable nodes).
+        chosen_origin: The origin each node routes towards.
+        deterministic_order: Nodes sorted by increasing distance — the order
+            in which the deterministic-node POR heuristic lets them execute.
+    """
+
+    distances: Dict[str, float]
+    next_hops: Dict[str, Tuple[str, ...]]
+    chosen_origin: Dict[str, str]
+    deterministic_order: Tuple[str, ...]
+
+    def is_reachable(self, node: str) -> bool:
+        """True if ``node`` has a finite-cost route to some origin."""
+        return self.distances.get(node, INFINITY) < INFINITY
+
+
+class OspfComputation:
+    """Cached OSPF shortest-path computations.
+
+    The cache key is (origins, failed links), matching the paper: "We cache
+    this computation so it is only run once for a given topology, set of
+    failures, and set of sources."
+    """
+
+    def __init__(self, network: NetworkConfig) -> None:
+        self.network = network
+        self.topology = network.topology
+        self._cache: Dict[Tuple[FrozenSet[str], FrozenSet[int]], OspfRoutingTable] = {}
+
+    # ------------------------------------------------------------------ costs
+    def link_cost(self, node: str, neighbor: str, link_weight: int) -> float:
+        """The OSPF cost of the edge ``node -> neighbor``.
+
+        Interface cost overrides in the device config win over the topology
+        weight; a passive interface means no adjacency (infinite cost).
+        """
+        config = self.network.device(node).ospf
+        if config is None:
+            return INFINITY
+        if config.is_passive(neighbor):
+            return INFINITY
+        return config.cost_to(neighbor, link_weight)
+
+    def _runs_ospf(self, node: str) -> bool:
+        return self.network.device(node).ospf is not None
+
+    # ------------------------------------------------------------------ SPF
+    def compute(
+        self,
+        origins: Sequence[str],
+        failed_links: Optional[Set[int]] = None,
+    ) -> OspfRoutingTable:
+        """Multi-source Dijkstra from ``origins`` over the OSPF-speaking subgraph.
+
+        The computation follows reverse link costs (cost of the edge leaving
+        the node towards the origin side), so ``distances[n]`` is the cost of
+        the best n -> origin path, exactly what each router's SPF run yields.
+        """
+        key = (frozenset(origins), frozenset(failed_links or ()))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        distances: Dict[str, float] = {}
+        chosen_origin: Dict[str, str] = {}
+        heap: List[Tuple[float, str, str]] = []
+        for origin in origins:
+            if not self._runs_ospf(origin):
+                continue
+            distances[origin] = 0.0
+            chosen_origin[origin] = origin
+            heapq.heappush(heap, (0.0, origin, origin))
+
+        settled: Set[str] = set()
+        while heap:
+            dist, node, origin = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            for link in self.topology.edges(node, failed_links):
+                neighbor = link.other(node)
+                if not self._runs_ospf(neighbor):
+                    continue
+                # An adjacency requires neither side to be passive.
+                if self.network.device(node).ospf.is_passive(neighbor):
+                    continue
+                # Cost of neighbor -> node edge, as seen by the neighbour.
+                cost = self.link_cost(neighbor, node, link.weight_from(neighbor))
+                if cost == INFINITY:
+                    continue
+                candidate = dist + cost
+                best = distances.get(neighbor, INFINITY)
+                if candidate < best:
+                    distances[neighbor] = candidate
+                    chosen_origin[neighbor] = origin
+                    heapq.heappush(heap, (candidate, neighbor, origin))
+                elif candidate == best and origin < chosen_origin.get(neighbor, origin):
+                    # Deterministic tie-break between equally distant origins.
+                    chosen_origin[neighbor] = origin
+                    heapq.heappush(heap, (candidate, neighbor, origin))
+
+        next_hops: Dict[str, Tuple[str, ...]] = {}
+        origin_set = {o for o in origins if self._runs_ospf(o)}
+        for node, dist in distances.items():
+            if node in origin_set:
+                next_hops[node] = ()
+                continue
+            hops = []
+            for link in self.topology.edges(node, failed_links):
+                neighbor = link.other(node)
+                if neighbor not in distances or not self._runs_ospf(neighbor):
+                    continue
+                if self.network.device(neighbor).ospf.is_passive(node):
+                    continue
+                cost = self.link_cost(node, neighbor, link.weight_from(node))
+                if cost == INFINITY:
+                    continue
+                if distances[neighbor] + cost == dist:
+                    hops.append(neighbor)
+            next_hops[node] = tuple(sorted(set(hops)))
+
+        order = tuple(sorted(distances, key=lambda n: (distances[n], n)))
+        table = OspfRoutingTable(
+            distances=distances,
+            next_hops=next_hops,
+            chosen_origin=chosen_origin,
+            deterministic_order=order,
+        )
+        self._cache[key] = table
+        return table
+
+    def igp_cost_between(
+        self,
+        source: str,
+        target: str,
+        failed_links: Optional[Set[int]] = None,
+    ) -> float:
+        """The IGP cost from ``source`` to ``target`` (used by BGP ranking)."""
+        table = self.compute([target], failed_links)
+        return table.distances.get(source, INFINITY)
+
+    def shortest_path(
+        self,
+        source: str,
+        origins: Sequence[str],
+        failed_links: Optional[Set[int]] = None,
+    ) -> Optional[List[str]]:
+        """One shortest path (node list, source first) or None if unreachable."""
+        table = self.compute(origins, failed_links)
+        if not table.is_reachable(source):
+            return None
+        path = [source]
+        current = source
+        visited = {source}
+        while table.next_hops.get(current):
+            current = table.next_hops[current][0]
+            if current in visited:
+                return None
+            visited.add(current)
+            path.append(current)
+        return path
+
+    def clear_cache(self) -> None:
+        """Drop all cached SPF results (used when configs are mutated)."""
+        self._cache.clear()

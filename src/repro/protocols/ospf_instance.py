@@ -1,0 +1,159 @@
+"""OSPF as a path-vector protocol instance.
+
+The paper uses a single abstract control plane (RPVP) for all protocols;
+OSPF fits by taking the ranking function to be the accumulated IGP cost and
+the filters to be "accept everything inside the OSPF domain".  OSPF's outcome
+is deterministic (the paper notes "OSPF by its nature has deterministic
+outcomes"), which the deterministic-node detection heuristic (§4.1.2) exploits
+via the cached network-wide shortest-path computation in
+:class:`repro.protocols.ospf.OspfComputation`.
+
+OSPF is the one protocol where the implementation permits multipath: a node
+may keep several equal-cost best paths (ECMP), matching the special-case
+deviation described at the end of §3.4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config.objects import NetworkConfig
+from repro.exceptions import ProtocolError
+from repro.netaddr import Prefix
+from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route, RouteSource
+from repro.protocols.ospf import INFINITY, OspfComputation
+
+
+class OspfInstance(PathVectorInstance):
+    """The OSPF control plane for one prefix, as a :class:`PathVectorInstance`."""
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        prefix: Prefix,
+        failed_links: Optional[Set[int]] = None,
+        computation: Optional[OspfComputation] = None,
+        extra_origins: Optional[Sequence[str]] = None,
+        allow_multipath: bool = True,
+    ) -> None:
+        self.network = network
+        self.prefix = prefix
+        self.failed_links = set(failed_links or ())
+        self.computation = computation or OspfComputation(network)
+        self.allow_multipath = allow_multipath
+        self.name = f"ospf:{prefix}"
+
+        self._speakers = [
+            name for name, cfg in network.devices.items() if cfg.ospf is not None
+        ]
+        self._speaker_set = set(self._speakers)
+        origin_set = {
+            name
+            for name in self._speakers
+            if any(p.contains_prefix(prefix) for p in network.device(name).ospf.networks)
+        }
+        # Redistributed static routes appear as OSPF external origins.
+        for name in self._speakers:
+            config = self.network.device(name)
+            if config.ospf.redistribute_static and any(
+                route.prefix.contains_prefix(prefix) for route in config.static_routes
+            ):
+                origin_set.add(name)
+        for name in extra_origins or ():
+            if name in self._speaker_set:
+                origin_set.add(name)
+        self._origins = sorted(origin_set)
+        self._peers_cache: Dict[str, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------ structure
+    def nodes(self) -> Sequence[str]:
+        return list(self._speakers)
+
+    def origins(self) -> Sequence[str]:
+        return list(self._origins)
+
+    def peers(self, node: str) -> Sequence[str]:
+        cached = self._peers_cache.get(node)
+        if cached is not None:
+            return cached
+        result: List[str] = []
+        config = self.network.device(node).ospf
+        if config is not None:
+            for link in self.network.topology.edges(node, self.failed_links):
+                neighbor = link.other(node)
+                if neighbor not in self._speaker_set:
+                    continue
+                if config.is_passive(neighbor):
+                    continue
+                if self.network.device(neighbor).ospf.is_passive(node):
+                    continue
+                result.append(neighbor)
+        peers = tuple(sorted(set(result)))
+        self._peers_cache[node] = peers
+        return peers
+
+    # ------------------------------------------------------------------ filters
+    def export(self, exporter: str, importer: str, route: Optional[Route]) -> Optional[Route]:
+        if route is None:
+            return None
+        if importer not in self.peers(exporter):
+            return None
+        return replace(route, path=route.path.prepend(exporter))
+
+    def import_(self, importer: str, exporter: str, route: Optional[Route]) -> Optional[Route]:
+        if route is None:
+            return None
+        link_weight = self._edge_cost(importer, exporter)
+        if link_weight == INFINITY:
+            return None
+        return replace(
+            route,
+            source=RouteSource.OSPF,
+            igp_cost=route.igp_cost + int(link_weight),
+        )
+
+    def _edge_cost(self, node: str, neighbor: str) -> float:
+        """Cost of the node -> neighbour edge (cheapest parallel live link)."""
+        best = INFINITY
+        for link in self.network.topology.links_between(node, neighbor):
+            if link.link_id in self.failed_links:
+                continue
+            cost = self.computation.link_cost(node, neighbor, link.weight_from(node))
+            best = min(best, cost)
+        return best
+
+    # ------------------------------------------------------------------ ranking
+    def rank(self, node: str, route: Route) -> Tuple:
+        """OSPF prefers the lowest accumulated cost; ECMP ties stay tied."""
+        if route.path == EPSILON:
+            return (-1,)
+        return (route.igp_cost,)
+
+    def multipath_allowed(self, node: str) -> bool:
+        return self.allow_multipath
+
+    # ------------------------------------------------------------------ helpers
+    def origin_route(self, node: str) -> Route:
+        """The route an origin injects for the prefix (cost 0)."""
+        if node not in self._origins:
+            raise ProtocolError(f"{node} does not originate {self.prefix} into OSPF")
+        return Route(path=EPSILON, source=RouteSource.OSPF, igp_cost=0, origin_node=node)
+
+    def routing_table(self):
+        """The deterministic SPF result for this instance's origins/failures."""
+        return self.computation.compute(self._origins, self.failed_links)
+
+    def deterministic_order(self) -> Tuple[str, ...]:
+        """Nodes ordered by increasing SPF distance (the §4.1.2 heuristic)."""
+        return self.routing_table().deterministic_order
+
+
+def build_ospf_instance(
+    network: NetworkConfig,
+    prefix: Prefix,
+    failed_links: Optional[Set[int]] = None,
+    computation: Optional[OspfComputation] = None,
+) -> OspfInstance:
+    """Convenience constructor mirroring :func:`build_bgp_instance`."""
+    return OspfInstance(network, prefix, failed_links=failed_links, computation=computation)

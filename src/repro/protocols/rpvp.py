@@ -1,0 +1,260 @@
+"""The Reduced Path Vector Protocol (RPVP), paper §3.4.2, Algorithm 1.
+
+RPVP replaces SPVP's message passing with a shared-memory model: the network
+state is exactly the best route of every node.  At each step one *enabled*
+node is non-deterministically picked; it either clears an invalid best path
+or adopts the advertisement of one of its best updating peers (again a
+non-deterministic choice when several peers are tied under the ranking
+function).  When no node is enabled the state is converged.
+
+Theorem 1 of the paper shows that exploring RPVP executions (with failures
+applied before the protocol starts) covers every converged state SPVP can
+reach, so the model checker only needs this much simpler protocol.
+
+This module implements the raw, *unoptimized* semantics.  The verifier core
+layers partial-order reduction and the other §4 optimizations on top of the
+successor relation defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
+
+
+@dataclass(frozen=True)
+class RpvpState:
+    """An RPVP network state: the best route of every node.
+
+    The assignment is stored as a tuple sorted by node name so states hash
+    and compare structurally — the representation the model checker interns
+    (paper §4.4).
+    """
+
+    assignments: Tuple[Tuple[str, Optional[Route]], ...]
+
+    @staticmethod
+    def from_dict(best: Dict[str, Optional[Route]]) -> "RpvpState":
+        """Build a canonical state from a node -> route mapping."""
+        return RpvpState(tuple(sorted(best.items(), key=lambda item: item[0])))
+
+    def best(self, node: str) -> Optional[Route]:
+        """The best route of ``node`` (None = no route, the paper's ⊥)."""
+        index = self.__dict__.get("_index")
+        if index is None:
+            index = {name: route for name, route in self.assignments}
+            object.__setattr__(self, "_index", index)
+        try:
+            return index[node]
+        except KeyError:
+            raise ProtocolError(f"node {node!r} not part of this RPVP state") from None
+
+    def as_dict(self) -> Dict[str, Optional[Route]]:
+        """A mutable copy of the assignment."""
+        return dict(self.assignments)
+
+    def with_best(self, node: str, route: Optional[Route]) -> "RpvpState":
+        """A new state with ``node``'s best route replaced."""
+        updated = tuple(
+            (name, route if name == node else current)
+            for name, current in self.assignments
+        )
+        return RpvpState(updated)
+
+    def nodes_with_routes(self) -> List[str]:
+        """Nodes that currently hold a route."""
+        return [name for name, route in self.assignments if route is not None]
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump used in trails."""
+        lines = []
+        for name, route in self.assignments:
+            lines.append(f"  {name}: {route.describe() if route else '<no route>'}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+@dataclass(frozen=True)
+class RpvpTransition:
+    """One RPVP step: ``node`` adopted ``new_route`` (None = cleared invalid path)."""
+
+    node: str
+    new_route: Optional[Route]
+    from_peer: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.new_route is None:
+            return f"{self.node} withdraws its (invalid) best path"
+        peer = f" from {self.from_peer}" if self.from_peer else ""
+        return f"{self.node} selects {self.new_route.describe()}{peer}"
+
+
+def initial_state(instance: PathVectorInstance) -> RpvpState:
+    """The RPVP initial state: origins hold their own route, others hold ⊥."""
+    best: Dict[str, Optional[Route]] = {}
+    origin_set = set(instance.origins())
+    for node in instance.nodes():
+        if node in origin_set:
+            best[node] = instance.origin_route(node)  # type: ignore[attr-defined]
+        else:
+            best[node] = None
+    return RpvpState.from_dict(best)
+
+
+def is_invalid(instance: PathVectorInstance, state: RpvpState, node: str) -> bool:
+    """The paper's ``invalid(n)`` predicate.
+
+    A best path is invalid when its next hop no longer backs it: the next hop
+    is not a peer any more (e.g. the link failed), or the next hop's current
+    best path is not the remainder of the node's path.
+    """
+    route = state.best(node)
+    if route is None or route.path == EPSILON:
+        return False
+    head = route.path.head
+    if head not in instance.peers(node):
+        return True
+    head_route = state.best(head)
+    head_path = head_route.path if head_route is not None else None
+    return head_path != route.path.rest
+
+
+def updating_peers(
+    instance: PathVectorInstance,
+    state: RpvpState,
+    node: str,
+    against: Optional[Route] = None,
+) -> List[Tuple[str, Route]]:
+    """Peers whose current advertisement would improve ``node``'s best path.
+
+    ``against`` overrides the incumbent route (used after an invalidation,
+    where the comparison is against ⊥).
+    Returns (peer, imported advertisement) pairs.
+    """
+    incumbent = state.best(node) if against is None else against
+    candidates: List[Tuple[str, Route]] = []
+    for peer in instance.peers(node):
+        advertisement = instance.advertisement(node, peer, state.best(peer))
+        if advertisement is None:
+            continue
+        if instance.better(node, advertisement, incumbent):
+            candidates.append((peer, advertisement))
+    return candidates
+
+
+def best_updates(
+    instance: PathVectorInstance,
+    node: str,
+    candidates: Sequence[Tuple[str, Route]],
+) -> List[Tuple[str, Route]]:
+    """The highest-ranked candidates (the paper's set ``U``); ties all kept."""
+    if not candidates:
+        return []
+    best_key = min(instance.cached_rank(node, route) for _peer, route in candidates)
+    return [
+        (peer, route)
+        for peer, route in candidates
+        if instance.cached_rank(node, route) == best_key
+    ]
+
+
+def enabled_nodes(instance: PathVectorInstance, state: RpvpState) -> List[str]:
+    """Algorithm 1, line 5: nodes with an invalid path or an improving peer."""
+    enabled = []
+    for node in instance.nodes():
+        if is_invalid(instance, state, node):
+            enabled.append(node)
+        elif updating_peers(instance, state, node):
+            enabled.append(node)
+    return enabled
+
+
+def is_converged(instance: PathVectorInstance, state: RpvpState) -> bool:
+    """True when no node is enabled (Algorithm 1, lines 6-8)."""
+    return not enabled_nodes(instance, state)
+
+
+def step_node(
+    instance: PathVectorInstance,
+    state: RpvpState,
+    node: str,
+) -> List[Tuple[RpvpTransition, RpvpState]]:
+    """All outcomes of executing ``node`` once (Algorithm 1, lines 10-16).
+
+    If the node's path is invalid it is first cleared; then, among the peers
+    tied for the best update, each choice produces one successor.  When there
+    is no updating peer after an invalidation, the single successor has the
+    path cleared.
+    """
+    working_state = state
+    cleared = False
+    if is_invalid(instance, state, node):
+        working_state = state.with_best(node, None)
+        cleared = True
+    candidates = updating_peers(instance, working_state, node)
+    best = best_updates(instance, node, candidates)
+    if not best:
+        if cleared:
+            return [(RpvpTransition(node=node, new_route=None), working_state)]
+        return []
+    successors = []
+    for peer, route in best:
+        transition = RpvpTransition(node=node, new_route=route, from_peer=peer)
+        successors.append((transition, working_state.with_best(node, route)))
+    return successors
+
+
+def rpvp_successors(
+    instance: PathVectorInstance,
+    state: RpvpState,
+) -> List[Tuple[RpvpTransition, RpvpState]]:
+    """All successors of ``state`` under the unoptimized RPVP semantics."""
+    successors: List[Tuple[RpvpTransition, RpvpState]] = []
+    for node in enabled_nodes(instance, state):
+        successors.extend(step_node(instance, state, node))
+    return successors
+
+
+def run_to_convergence(
+    instance: PathVectorInstance,
+    state: Optional[RpvpState] = None,
+    choose: Optional[Callable[[List[Tuple[RpvpTransition, RpvpState]]], int]] = None,
+    max_steps: int = 1_000_000,
+) -> Tuple[RpvpState, List[RpvpTransition]]:
+    """Execute one RPVP path to convergence (a simulation, not a search).
+
+    ``choose`` picks among the available successors (default: the first one,
+    i.e. a deterministic simulation in the style of Batfish).  Raises
+    :class:`ProtocolError` when ``max_steps`` is exceeded, which can happen
+    for genuinely divergent configurations.
+    """
+    current = state if state is not None else initial_state(instance)
+    history: List[RpvpTransition] = []
+    for _ in range(max_steps):
+        successors = rpvp_successors(instance, current)
+        if not successors:
+            return current, history
+        index = choose(successors) if choose is not None else 0
+        transition, current = successors[index]
+        history.append(transition)
+    raise ProtocolError(
+        f"RPVP did not converge within {max_steps} steps for {instance.name}"
+    )
+
+
+def forwarding_next_hops(state: RpvpState) -> Dict[str, Optional[str]]:
+    """The next hop each node forwards to in ``state`` (None = no route)."""
+    result: Dict[str, Optional[str]] = {}
+    for node, route in state.assignments:
+        if route is None:
+            result[node] = None
+        elif route.path == EPSILON:
+            result[node] = node  # the origin delivers locally
+        else:
+            result[node] = route.path.head
+    return result

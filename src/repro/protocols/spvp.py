@@ -1,0 +1,178 @@
+"""Extended SPVP: the message-passing reference model (paper Appendix A).
+
+SPVP is the faithful abstraction of real BGP message exchange: every node
+keeps a ``rib-in`` per peer, peers exchange advertisements over reliable FIFO
+buffers, and a node that changes its best path re-advertises it.  Plankton
+does *not* model check SPVP — it checks RPVP, which Theorem 1 proves reaches
+the same converged states — but SPVP is implemented here for three reasons:
+
+* the soundness/completeness relationship between the two models is validated
+  experimentally by the test suite (every SPVP converged state is also found
+  by the RPVP search, and vice versa, on the paper's example gadgets);
+* the Batfish-style simulation baseline (`repro.baselines.simulation`) is one
+  arbitrary SPVP execution, which is exactly how simulation misses violations
+  that only some orderings expose (BGP wedgies);
+* divergent configurations (BAD GADGET) can be demonstrated on it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
+from repro.protocols.rpvp import RpvpState
+
+
+@dataclass(frozen=True)
+class SpvpEvent:
+    """One SPVP step: ``node`` processed an advertisement from ``peer``."""
+
+    node: str
+    peer: str
+    advertised: Optional[Route]
+    new_best: Optional[Route]
+
+    def describe(self) -> str:
+        adv = self.advertised.describe() if self.advertised else "withdraw"
+        best = self.new_best.describe() if self.new_best else "<no route>"
+        return f"{self.node} processed {adv} from {self.peer}; best is now {best}"
+
+
+class SpvpSimulator:
+    """An executable extended-SPVP instance over a :class:`PathVectorInstance`.
+
+    The simulator owns mutable state: per-node best routes, per-(node, peer)
+    rib-in, and per-(sender, receiver) FIFO message buffers.  ``step`` picks a
+    pending message (non-deterministically via the supplied RNG) and processes
+    it atomically, as in Appendix A.
+    """
+
+    def __init__(self, instance: PathVectorInstance, seed: int = 0) -> None:
+        self.instance = instance
+        self.rng = random.Random(seed)
+        self.best: Dict[str, Optional[Route]] = {}
+        self.rib_in: Dict[Tuple[str, str], Optional[Route]] = {}
+        self.buffers: Dict[Tuple[str, str], Deque[Optional[Route]]] = {}
+        self.history: List[SpvpEvent] = []
+        self.steps = 0
+        self._initialise()
+
+    # ------------------------------------------------------------------ setup
+    def _initialise(self) -> None:
+        origin_set = set(self.instance.origins())
+        for node in self.instance.nodes():
+            self.best[node] = (
+                self.instance.origin_route(node)  # type: ignore[attr-defined]
+                if node in origin_set
+                else None
+            )
+            for peer in self.instance.peers(node):
+                self.rib_in[(node, peer)] = None
+                self.buffers[(peer, node)] = deque()
+        # Origins advertise their path to every peer up front (Appendix A).
+        for origin in origin_set:
+            self._advertise(origin)
+
+    def _advertise(self, sender: str) -> None:
+        """Queue ``sender``'s current best path to all of its peers."""
+        for peer in self.instance.peers(sender):
+            advertisement = self.instance.export(sender, peer, self.best[sender])
+            self.buffers[(sender, peer)].append(advertisement)
+
+    # ------------------------------------------------------------------ stepping
+    def pending_messages(self) -> List[Tuple[str, str]]:
+        """(sender, receiver) pairs with at least one queued advertisement."""
+        return [key for key, queue in self.buffers.items() if queue]
+
+    def is_converged(self) -> bool:
+        """True when every buffer is empty (the SPVP convergence condition)."""
+        return not self.pending_messages()
+
+    def step(self, channel: Optional[Tuple[str, str]] = None) -> Optional[SpvpEvent]:
+        """Process one queued advertisement; returns the event or None if idle."""
+        pending = self.pending_messages()
+        if not pending:
+            return None
+        if channel is None:
+            channel = self.rng.choice(pending)
+        elif channel not in pending or not self.buffers[channel]:
+            raise ProtocolError(f"channel {channel} has no pending message")
+        sender, receiver = channel
+        advertised = self.buffers[channel].popleft()
+        self.steps += 1
+
+        imported = (
+            None
+            if advertised is None
+            else self.instance.import_(receiver, sender, advertised)
+        )
+        if imported is not None and imported.path.contains(receiver):
+            imported = None
+        self.rib_in[(receiver, sender)] = imported
+
+        new_best = self._select_best(receiver)
+        event = SpvpEvent(node=receiver, peer=sender, advertised=advertised, new_best=new_best)
+        self.history.append(event)
+        if self._paths_differ(self.best[receiver], new_best):
+            self.best[receiver] = new_best
+            self._advertise(receiver)
+        else:
+            self.best[receiver] = new_best
+        return event
+
+    @staticmethod
+    def _paths_differ(old: Optional[Route], new: Optional[Route]) -> bool:
+        old_path = old.path if old is not None else None
+        new_path = new.path if new is not None else None
+        return old_path != new_path
+
+    def _select_best(self, node: str) -> Optional[Route]:
+        """Recompute ``node``'s best route from its rib-in and local origin."""
+        candidates: List[Route] = []
+        if node in set(self.instance.origins()):
+            candidates.append(self.instance.origin_route(node))  # type: ignore[attr-defined]
+        for peer in self.instance.peers(node):
+            stored = self.rib_in.get((node, peer))
+            if stored is not None:
+                candidates.append(stored)
+        if not candidates:
+            return None
+        current = self.best[node]
+        best = min(candidates, key=lambda route: self.instance.rank(node, route))
+        if current is not None and current in candidates:
+            # Appendix A: if the best rib-in entry ties with the still-valid
+            # current best path, the best path does not change.
+            if self.instance.rank(node, current) == self.instance.rank(node, best):
+                return current
+        return best
+
+    # ------------------------------------------------------------------ running
+    def run(self, max_steps: int = 100_000) -> RpvpState:
+        """Run until convergence (or raise after ``max_steps``); return the state."""
+        while not self.is_converged():
+            if self.steps >= max_steps:
+                raise ProtocolError(
+                    f"SPVP did not converge within {max_steps} steps for "
+                    f"{self.instance.name} (possibly a divergent configuration)"
+                )
+            self.step()
+        return self.converged_state()
+
+    def converged_state(self) -> RpvpState:
+        """The current best-path assignment as an :class:`RpvpState`."""
+        return RpvpState.from_dict(dict(self.best))
+
+    def fail_session(self, a: str, b: str) -> None:
+        """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers.
+
+        Appendix A: when a session fails, queued messages are lost and each
+        peer sees a withdraw.
+        """
+        for sender, receiver in ((a, b), (b, a)):
+            if (sender, receiver) in self.buffers:
+                self.buffers[(sender, receiver)].clear()
+                self.buffers[(sender, receiver)].append(None)

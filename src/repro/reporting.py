@@ -1,0 +1,148 @@
+"""Verification reports: structured (JSON) and human-readable (Markdown) output.
+
+The verifier's :class:`~repro.core.results.VerificationResult` carries
+everything an operator or a CI pipeline needs — verdict, per-PEC runs,
+exploration statistics, violations with event trails — but as Python objects.
+This module renders those results into artefacts that can be archived next to
+the configuration change that was checked:
+
+* ``result_to_dict`` / JSON — for machines (dashboards, CI gates),
+* ``render_markdown`` — for humans (change-review comments, runbooks),
+* ``write_report`` — dispatches on the file suffix.
+
+The CLI's ``verify --report FILE`` option uses these helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+from typing import Dict, List, Optional, Union
+
+from repro.core.results import PecRunResult, VerificationResult, Violation
+
+PathLike = Union[str, FilePath]
+
+
+# --------------------------------------------------------------------------- structured form
+def violation_to_dict(violation: Violation, include_trail: bool = True) -> Dict[str, object]:
+    """The JSON-serialisable form of one violation."""
+    document: Dict[str, object] = {
+        "policy": violation.policy,
+        "pec_index": violation.pec_index,
+        "pec": violation.pec_description,
+        "failures": violation.failure_description,
+        "message": violation.message,
+    }
+    if include_trail and violation.trail is not None:
+        document["trail"] = [
+            {"kind": step.kind, "description": step.description}
+            for step in violation.trail.steps
+        ]
+        if violation.trail.data_plane_dump:
+            document["data_plane"] = violation.trail.data_plane_dump
+    return document
+
+
+def pec_run_to_dict(run: PecRunResult) -> Dict[str, object]:
+    """The JSON-serialisable form of one per-PEC run."""
+    document: Dict[str, object] = {
+        "pec_index": run.pec_index,
+        "failed_links": list(run.failure.failed_links),
+        "converged_states": run.converged_states,
+        "checked_states": run.checked_states,
+        "suppressed_states": run.suppressed_states,
+        "violations": len(run.violations),
+    }
+    if run.statistics is not None:
+        document["states_expanded"] = run.statistics.states_expanded
+        document["unique_states"] = run.statistics.unique_states
+    return document
+
+
+def result_to_dict(
+    result: VerificationResult,
+    include_trails: bool = True,
+    include_pec_runs: bool = True,
+) -> Dict[str, object]:
+    """The complete JSON-serialisable form of a verification result."""
+    document: Dict[str, object] = {
+        "policies": list(result.policy_names),
+        "holds": result.holds,
+        "pecs_analyzed": result.pecs_analyzed,
+        "failure_scenarios": result.failure_scenarios,
+        "converged_states": result.total_converged_states,
+        "states_expanded": result.total_states_expanded,
+        "unique_states": result.total_unique_states,
+        "approximate_memory_bytes": result.approximate_memory_bytes,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "violations": [
+            violation_to_dict(violation, include_trail=include_trails)
+            for violation in result.violations
+        ],
+    }
+    if include_pec_runs:
+        document["pec_runs"] = [pec_run_to_dict(run) for run in result.pec_runs]
+    return document
+
+
+def render_json(result: VerificationResult, indent: int = 2) -> str:
+    """The result as a JSON document."""
+    return json.dumps(result_to_dict(result), indent=indent) + "\n"
+
+
+# --------------------------------------------------------------------------- markdown
+def render_markdown(result: VerificationResult, title: Optional[str] = None) -> str:
+    """The result as a Markdown report (verdict, summary table, violations)."""
+    lines: List[str] = []
+    lines.append(f"# {title or 'Verification report'}")
+    lines.append("")
+    verdict = "**HOLDS**" if result.holds else f"**VIOLATED** ({len(result.violations)} violation(s))"
+    lines.append(f"Policies `{', '.join(result.policy_names)}`: {verdict}")
+    lines.append("")
+
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    lines.append(f"| PECs analysed | {result.pecs_analyzed} |")
+    lines.append(f"| failure scenarios | {result.failure_scenarios} |")
+    lines.append(f"| converged states checked | {result.total_converged_states} |")
+    lines.append(f"| state expansions | {result.total_states_expanded} |")
+    lines.append(f"| elapsed | {result.elapsed_seconds:.3f} s |")
+    lines.append("")
+
+    if result.violations:
+        lines.append("## Violations")
+        lines.append("")
+        for number, violation in enumerate(result.violations, start=1):
+            lines.append(f"### {number}. {violation.policy}")
+            lines.append("")
+            lines.append(f"* PEC: `{violation.pec_description}`")
+            lines.append(f"* failures: {violation.failure_description}")
+            lines.append(f"* {violation.message}")
+            if violation.trail is not None and len(violation.trail):
+                lines.append("")
+                lines.append("Event trail:")
+                lines.append("")
+                lines.append("```")
+                lines.append(violation.trail.render())
+                lines.append("```")
+            lines.append("")
+    else:
+        lines.append("No violations were found in any explored converged state.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- files
+def write_report(
+    result: VerificationResult,
+    path: PathLike,
+    title: Optional[str] = None,
+) -> FilePath:
+    """Write the result to ``path``; JSON for ``.json``, Markdown otherwise."""
+    file_path = FilePath(path)
+    if file_path.suffix.lower() == ".json":
+        file_path.write_text(render_json(result))
+    else:
+        file_path.write_text(render_markdown(result, title=title))
+    return file_path

@@ -1,0 +1,214 @@
+"""Failure scenarios and equivalence-based failure reduction.
+
+The environment specification of a verification task bounds the number of
+link failures (paper §2).  The verifier must then cover every converged state
+reachable under any allowed combination of failures.  Two pieces live here:
+
+* :func:`enumerate_failure_scenarios` — exhaustive enumeration of failure
+  sets up to a bound, with the strict total ordering of failures the paper
+  imposes (§4.1.4) baked in by construction (each scenario is a sorted tuple
+  of link ids, so no two orderings of the same set are ever produced).
+
+* :class:`DeviceEquivalence` and :func:`reduced_failure_scenarios` — the
+  Bonsai-inspired Device / Link Equivalence Class reduction of §4.3: only one
+  representative link per Link Equivalence Class is failed, and the classes
+  are refined after each selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of failed links, stored as a sorted tuple of link ids."""
+
+    failed_links: Tuple[int, ...] = ()
+
+    @staticmethod
+    def of(link_ids: Iterable[int]) -> "FailureScenario":
+        """Build a canonical scenario from any iterable of link ids."""
+        return FailureScenario(tuple(sorted(set(link_ids))))
+
+    @property
+    def count(self) -> int:
+        """Number of failed links."""
+        return len(self.failed_links)
+
+    def as_set(self) -> Set[int]:
+        """The failed links as a set (for adjacency queries)."""
+        return set(self.failed_links)
+
+    def describe(self, topology: Topology) -> str:
+        """Human-readable description naming the failed link endpoints."""
+        if not self.failed_links:
+            return "no failures"
+        parts = []
+        for link_id in self.failed_links:
+            link = topology.link(link_id)
+            parts.append(f"{link.a}--{link.b}")
+        return "failed: " + ", ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.failed_links)
+
+
+def enumerate_failure_scenarios(
+    topology: Topology,
+    max_failures: int,
+    protected_links: Optional[Set[int]] = None,
+) -> List[FailureScenario]:
+    """All failure scenarios with at most ``max_failures`` failed links.
+
+    The empty scenario is always included first.  ``protected_links`` are
+    never failed (used e.g. to keep stub links to policy sources alive).
+    """
+    if max_failures < 0:
+        raise TopologyError(f"max_failures must be non-negative, got {max_failures}")
+    candidates = [
+        link.link_id
+        for link in topology.links
+        if protected_links is None or link.link_id not in protected_links
+    ]
+    scenarios: List[FailureScenario] = [FailureScenario()]
+    for count in range(1, max_failures + 1):
+        for combo in itertools.combinations(candidates, count):
+            scenarios.append(FailureScenario(tuple(combo)))
+    return scenarios
+
+
+class DeviceEquivalence:
+    """Device Equivalence Classes (DECs) and Link Equivalence Classes (LECs).
+
+    Following Bonsai's abstraction (and the use Plankton makes of it in §4.3),
+    two devices are equivalent when they originate the same set of prefixes
+    for the PEC under analysis (captured by the ``colors`` argument) and their
+    multisets of (neighbour class, link weight) pairs are identical.  The
+    classes are computed by colour refinement (1-dimensional Weisfeiler-Leman)
+    to a fixed point.
+
+    A Link Equivalence Class is the set of links joining a given ordered pair
+    of DECs with a given weight pair.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        colors: Optional[Dict[str, object]] = None,
+        failed_links: Optional[Set[int]] = None,
+    ) -> None:
+        self.topology = topology
+        self.failed_links = set(failed_links or ())
+        initial: Dict[str, object] = {}
+        for name in topology.nodes:
+            initial[name] = colors.get(name) if colors else None
+        self.device_classes = self._refine(initial)
+
+    def _refine(self, initial: Dict[str, object]) -> Dict[str, int]:
+        # Map arbitrary initial colours to small integers.
+        palette: Dict[object, int] = {}
+        coloring: Dict[str, int] = {}
+        for name, color in initial.items():
+            key = ("init", color)
+            if key not in palette:
+                palette[key] = len(palette)
+            coloring[name] = palette[key]
+        while True:
+            signatures: Dict[str, Tuple] = {}
+            for name in self.topology.nodes:
+                neighbor_sig = []
+                for link in self.topology.edges(name, self.failed_links):
+                    other = link.other(name)
+                    neighbor_sig.append(
+                        (coloring[other], link.weight_from(name), link.weight_from(other))
+                    )
+                signatures[name] = (coloring[name], tuple(sorted(neighbor_sig)))
+            next_palette: Dict[Tuple, int] = {}
+            next_coloring: Dict[str, int] = {}
+            for name, signature in signatures.items():
+                if signature not in next_palette:
+                    next_palette[signature] = len(next_palette)
+                next_coloring[name] = next_palette[signature]
+            if len(set(next_coloring.values())) == len(set(coloring.values())):
+                return next_coloring
+            coloring = next_coloring
+
+    def device_class_of(self, name: str) -> int:
+        """The DEC index of device ``name``."""
+        return self.device_classes[name]
+
+    def class_members(self) -> Dict[int, List[str]]:
+        """Mapping DEC index -> sorted member device names."""
+        members: Dict[int, List[str]] = {}
+        for name, cls in self.device_classes.items():
+            members.setdefault(cls, []).append(name)
+        for cls in members:
+            members[cls].sort()
+        return members
+
+    def link_classes(self) -> Dict[Tuple, List[int]]:
+        """Mapping LEC key -> link ids in that class (live links only)."""
+        classes: Dict[Tuple, List[int]] = {}
+        for link in self.topology.links:
+            if link.link_id in self.failed_links:
+                continue
+            ca = self.device_classes[link.a]
+            cb = self.device_classes[link.b]
+            if ca <= cb:
+                key = (ca, cb, link.weight_ab, link.weight_ba)
+            else:
+                key = (cb, ca, link.weight_ba, link.weight_ab)
+            classes.setdefault(key, []).append(link.link_id)
+        return classes
+
+    def representative_links(self) -> List[int]:
+        """One representative (smallest id) link per LEC."""
+        return sorted(min(ids) for ids in self.link_classes().values())
+
+
+def reduced_failure_scenarios(
+    topology: Topology,
+    max_failures: int,
+    colors: Optional[Dict[str, object]] = None,
+    interesting_nodes: Optional[Iterable[str]] = None,
+) -> List[FailureScenario]:
+    """Failure scenarios reduced via Link Equivalence Classes (paper §4.3).
+
+    For each failure to be chosen, only one representative link per LEC is
+    considered; after a link is selected the DECs/LECs are recomputed
+    ("refined") with that link marked failed before selecting the next one.
+    Interesting nodes (from the policy) are forced into singleton DECs so the
+    reduction never collapses a device the policy cares about.
+    """
+    if max_failures < 0:
+        raise TopologyError(f"max_failures must be non-negative, got {max_failures}")
+    base_colors: Dict[str, object] = dict(colors or {})
+    for index, name in enumerate(interesting_nodes or ()):
+        # Unique colour per interesting node keeps it in its own class.
+        base_colors[name] = ("interesting", index, name)
+
+    results: List[FailureScenario] = [FailureScenario()]
+    seen: Set[Tuple[int, ...]] = {()}
+
+    def extend(prefix: Tuple[int, ...], remaining: int) -> None:
+        if remaining == 0:
+            return
+        equivalence = DeviceEquivalence(topology, base_colors, failed_links=set(prefix))
+        for link_id in equivalence.representative_links():
+            if link_id in prefix:
+                continue
+            scenario = tuple(sorted(prefix + (link_id,)))
+            if scenario in seen:
+                continue
+            seen.add(scenario)
+            results.append(FailureScenario(scenario))
+            extend(scenario, remaining - 1)
+
+    extend((), max_failures)
+    return results

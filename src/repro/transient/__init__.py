@@ -1,0 +1,35 @@
+"""Transient-state analysis (the paper's "future work" extension).
+
+Plankton checks policies over *converged* data planes only; properties of the
+convergence process itself — transient micro-loops, momentary black holes,
+loss of reachability while routes are being withdrawn — are explicitly out of
+scope for it (paper §3.5, §8).  This subpackage adds that capability on top of
+the SPVP message-passing model: a bounded breadth-first exploration of message
+interleavings, checking transient properties in every reachable state.
+"""
+
+from repro.transient.explorer import (
+    TransientAnalysisResult,
+    TransientAnalyzer,
+    TransientViolation,
+    analyze_pec_transients,
+)
+from repro.transient.properties import (
+    AlwaysReaches,
+    TransientBlackHoleFreedom,
+    TransientForwarding,
+    TransientLoopFreedom,
+    TransientProperty,
+)
+
+__all__ = [
+    "TransientAnalyzer",
+    "TransientAnalysisResult",
+    "TransientViolation",
+    "analyze_pec_transients",
+    "TransientProperty",
+    "TransientForwarding",
+    "TransientLoopFreedom",
+    "TransientBlackHoleFreedom",
+    "AlwaysReaches",
+]

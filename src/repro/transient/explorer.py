@@ -1,0 +1,222 @@
+"""Bounded exploration of transient (pre-convergence) control plane states.
+
+Plankton model checks RPVP, which by construction (Theorem 1) preserves only
+the *converged* states of the protocol.  This extension explores the richer
+SPVP message-passing model instead: every interleaving of advertisement
+deliveries is a distinct execution, and the states visited along the way are
+the transient states in which forwarding anomalies such as micro-loops can
+appear even when every converged state is correct.
+
+The exploration is a breadth-first search over SPVP states (best paths,
+rib-ins and message buffers), bounded by a state budget and a depth budget so
+divergent configurations (BAD GADGET) terminate with a truncation flag rather
+than running forever.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config.objects import NetworkConfig
+from repro.pec.classes import PacketEquivalenceClass
+from repro.protocols.base import PathVectorInstance
+from repro.protocols.spvp import SpvpSimulator
+from repro.topology.failures import FailureScenario
+from repro.transient.properties import TransientForwarding, TransientProperty
+
+
+@dataclass(frozen=True)
+class TransientViolation:
+    """One transient property violation with the event sequence reaching it."""
+
+    property_name: str
+    message: str
+    depth: int
+    converged: bool
+    witness: Tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"property  : {self.property_name}",
+            f"violation : {self.message}",
+            f"state     : {'converged' if self.converged else f'transient (depth {self.depth})'}",
+            "event sequence:",
+        ]
+        if self.witness:
+            lines.extend(f"  {index + 1}. {event}" for index, event in enumerate(self.witness))
+        else:
+            lines.append("  (initial state)")
+        return "\n".join(lines)
+
+
+@dataclass
+class TransientAnalysisResult:
+    """Aggregate result of one transient exploration."""
+
+    states_explored: int = 0
+    converged_states: int = 0
+    max_depth_reached: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+    violations: List[TransientViolation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True when no transient property was violated in the explored states."""
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
+        suffix = " [truncated: state budget reached]" if self.truncated else ""
+        return (
+            f"transient analysis: {verdict}; {self.states_explored} state(s), "
+            f"{self.converged_states} converged, max depth {self.max_depth_reached}, "
+            f"{self.elapsed_seconds:.3f}s{suffix}"
+        )
+
+
+class TransientAnalyzer:
+    """Breadth-first exploration of SPVP states checking transient properties."""
+
+    def __init__(
+        self,
+        instance: PathVectorInstance,
+        max_states: int = 20_000,
+        max_depth: int = 64,
+        stop_at_first_violation: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_at_first_violation = stop_at_first_violation
+
+    # ------------------------------------------------------------------ exploration
+    def analyze(
+        self, properties: Sequence[TransientProperty]
+    ) -> TransientAnalysisResult:
+        """Explore reachable SPVP states and check ``properties`` on each."""
+        if not properties:
+            raise ValueError("at least one transient property is required")
+        started = time.perf_counter()
+        result = TransientAnalysisResult()
+
+        root = SpvpSimulator(self.instance, seed=0)
+        visited: Set[Tuple] = set()
+        frontier: List[Tuple[SpvpSimulator, int]] = [(root, 0)]
+        visited.add(self._signature(root))
+
+        while frontier:
+            simulator, depth = frontier.pop(0)
+            result.states_explored += 1
+            result.max_depth_reached = max(result.max_depth_reached, depth)
+            converged = simulator.is_converged()
+            if converged:
+                result.converged_states += 1
+
+            stop = self._check_state(simulator, converged, depth, properties, result)
+            if stop:
+                break
+
+            if converged or depth >= self.max_depth:
+                continue
+            if result.states_explored >= self.max_states:
+                result.truncated = True
+                break
+
+            for channel in simulator.pending_messages():
+                successor = copy.deepcopy(simulator)
+                successor.step(channel)
+                signature = self._signature(successor)
+                if signature in visited:
+                    continue
+                visited.add(signature)
+                if len(visited) >= self.max_states:
+                    result.truncated = True
+                frontier.append((successor, depth + 1))
+
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ helpers
+    def _check_state(
+        self,
+        simulator: SpvpSimulator,
+        converged: bool,
+        depth: int,
+        properties: Sequence[TransientProperty],
+        result: TransientAnalysisResult,
+    ) -> bool:
+        """Check every property on one state; returns True when the search should stop."""
+        forwarding = TransientForwarding.from_best_paths(simulator.best)
+        for prop in properties:
+            message = prop.check(forwarding, converged)
+            if message is None:
+                continue
+            result.violations.append(
+                TransientViolation(
+                    property_name=prop.name,
+                    message=message,
+                    depth=depth,
+                    converged=converged,
+                    witness=tuple(event.describe() for event in simulator.history),
+                )
+            )
+            if self.stop_at_first_violation:
+                return True
+        return False
+
+    @staticmethod
+    def _signature(simulator: SpvpSimulator) -> Tuple:
+        """A hashable signature of the SPVP state (best, rib-in, buffers)."""
+        best = tuple(sorted(
+            (node, route.path if route is not None else None)
+            for node, route in simulator.best.items()
+        ))
+        rib_in = tuple(sorted(
+            (key, route.path if route is not None else None)
+            for key, route in simulator.rib_in.items()
+        ))
+        buffers = tuple(sorted(
+            (
+                key,
+                tuple(route.path if route is not None else None for route in queue),
+            )
+            for key, queue in simulator.buffers.items()
+        ))
+        return (best, rib_in, buffers)
+
+
+def analyze_pec_transients(
+    network: NetworkConfig,
+    pec: PacketEquivalenceClass,
+    properties: Sequence[TransientProperty],
+    failure: Optional[FailureScenario] = None,
+    max_states: int = 20_000,
+    max_depth: int = 64,
+) -> Dict[str, TransientAnalysisResult]:
+    """Run transient analysis for every BGP prefix of ``pec``.
+
+    Returns one result per analysed prefix (keyed by its text form).  PECs
+    with no BGP origin have nothing to analyse: OSPF is modelled as a
+    deterministic computation, so its transients are not represented in this
+    reproduction (the same simplification the paper makes for converged-state
+    checking applies here).
+    """
+    from repro.core.network_model import DependencyContext, PecExplorer
+    from repro.core.options import PlanktonOptions
+
+    failure = failure or FailureScenario()
+    explorer = PecExplorer(
+        network, pec, failure, PlanktonOptions(), dependency_context=DependencyContext()
+    )
+    results: Dict[str, TransientAnalysisResult] = {}
+    for prefix, devices in pec.bgp_origins:
+        if not devices:
+            continue
+        instance = explorer.bgp_instance(prefix)
+        analyzer = TransientAnalyzer(instance, max_states=max_states, max_depth=max_depth)
+        results[str(prefix)] = analyzer.analyze(properties)
+    return results

@@ -1,0 +1,48 @@
+"""Smoke tests: the runnable examples must execute end-to-end.
+
+Each example is executed as a subprocess, the way a user would run it.  Only
+the faster examples are included so the test suite stays quick; the larger
+benchmark-style examples are exercised by the benchmark harness instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+FAST_EXAMPLES = [
+    ("quickstart.py", ["loop", "violation"]),
+    ("config_files_verification.py", ["HOLDS", "CLI exit code: 0"]),
+    ("coverage_gap_bgp_nondeterminism.py", ["coverage", "violating event sequence"]),
+    ("transient_analysis.py", ["micro-loop", "transient"]),
+    ("incremental_dataplane_monitor.py", ["rules imported", "ok"]),
+]
+
+
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize("name,expected_phrases", FAST_EXAMPLES, ids=[n for n, _ in FAST_EXAMPLES])
+def test_example_runs_and_reports(name, expected_phrases):
+    completed = _run_example(name)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    output = completed.stdout.lower()
+    for phrase in expected_phrases:
+        assert phrase.lower() in output, f"{name}: expected {phrase!r} in output"
+
+
+def test_example_config_files_exist():
+    configs = os.path.join(EXAMPLES_DIR, "configs")
+    assert os.path.isfile(os.path.join(configs, "campus.topo"))
+    assert os.path.isfile(os.path.join(configs, "campus.cfg"))

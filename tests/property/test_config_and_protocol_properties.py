@@ -1,0 +1,145 @@
+"""Property-based tests for routing-policy objects and the OSPF engine.
+
+Prefix lists and route maps implement the "first matching clause decides,
+implicit deny at the end" semantics of real routers; the OSPF computation must
+agree with plain Dijkstra on symmetric-weight topologies.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.objects import PrefixList, PrefixListEntry
+from repro.config.builder import ospf_everywhere
+from repro.netaddr import MAX_IPV4, Prefix
+from repro.protocols.ospf import OspfComputation
+from repro.topology import Topology, grid, ring
+
+
+def aligned_prefix(network: int, length: int) -> Prefix:
+    mask = (((1 << length) - 1) << (32 - length)) if length else 0
+    return Prefix(network & mask, length)
+
+
+prefixes = st.builds(aligned_prefix, st.integers(0, MAX_IPV4), st.integers(0, 32))
+
+
+# --------------------------------------------------------------------------- prefix lists
+entry_strategy = st.builds(
+    lambda prefix, permit, ge_extra, le_extra, use_ge, use_le: PrefixListEntry(
+        prefix=prefix,
+        permit=permit,
+        ge=min(32, prefix.length + ge_extra) if use_ge else None,
+        le=min(32, prefix.length + ge_extra + le_extra) if use_le else None,
+    ),
+    prefixes,
+    st.booleans(),
+    st.integers(0, 8),
+    st.integers(0, 8),
+    st.booleans(),
+    st.booleans(),
+)
+
+
+def reference_entry_matches(entry: PrefixListEntry, candidate: Prefix) -> bool:
+    """Straight-from-the-router-manual reference semantics of one entry."""
+    if not entry.prefix.contains_prefix(candidate):
+        return False
+    low = entry.ge if entry.ge is not None else entry.prefix.length
+    if entry.le is not None:
+        high = entry.le
+    elif entry.ge is not None:
+        high = 32
+    else:
+        high = entry.prefix.length
+    return low <= candidate.length <= high
+
+
+class TestPrefixListProperties:
+    @given(st.lists(entry_strategy, min_size=0, max_size=8), prefixes)
+    @settings(max_examples=200, deadline=None)
+    def test_first_matching_entry_decides(self, entries, candidate):
+        plist = PrefixList(name="PL", entries=list(entries))
+        expected = False
+        for entry in entries:
+            if reference_entry_matches(entry, candidate):
+                expected = entry.permit
+                break
+        assert plist.permits(candidate) == expected
+
+    @given(entry_strategy, prefixes)
+    @settings(max_examples=200, deadline=None)
+    def test_entry_match_agrees_with_reference(self, entry, candidate):
+        assert entry.matches(candidate) == reference_entry_matches(entry, candidate)
+
+    @given(prefixes)
+    def test_exact_entry_matches_only_the_exact_prefix_length(self, prefix):
+        entry = PrefixListEntry(prefix=prefix)
+        assert entry.matches(prefix)
+        if prefix.length < 32:
+            more_specific = prefix.subnets()[0]
+            assert not entry.matches(more_specific)
+
+    @given(prefixes)
+    def test_le_32_entry_matches_every_more_specific_prefix(self, prefix):
+        entry = PrefixListEntry(prefix=prefix, le=32)
+        assert entry.matches(prefix)
+        if prefix.length < 32:
+            assert entry.matches(prefix.subnets()[1])
+
+
+# --------------------------------------------------------------------------- ospf
+class TestOspfProperties:
+    @given(st.integers(4, 9), st.integers(0, 2 ** 16), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_spf_distances_match_dijkstra_on_rings(self, size, seed, origin_index):
+        rng = random.Random(seed)
+        topology = ring(size)
+        # Re-weight links symmetrically but randomly.
+        rewired = Topology(f"ring{size}-w{seed}")
+        for name in topology.nodes:
+            rewired.add_node(name)
+        for link in topology.links:
+            rewired.add_link(link.a, link.b, weight=rng.randint(1, 20))
+        origin = rewired.nodes[origin_index % len(rewired.nodes)]
+        prefix = Prefix("10.9.9.0/24")
+        network = ospf_everywhere(rewired, prefix_for={origin: prefix})
+        table = OspfComputation(network).compute([origin])
+        reference = rewired.shortest_path_lengths(origin)
+        for node in rewired.nodes:
+            assert table.is_reachable(node)
+            assert table.distances[node] == reference[node]
+
+    @given(st.integers(2, 4), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_spf_next_hops_lie_on_shortest_paths(self, rows, cols):
+        topology = grid(rows, cols)
+        origin = topology.nodes[0]
+        network = ospf_everywhere(topology, prefix_for={origin: Prefix("10.9.9.0/24")})
+        table = OspfComputation(network).compute([origin])
+        reference = topology.shortest_path_lengths(origin)
+        for node in topology.nodes:
+            if node == origin:
+                assert table.next_hops.get(node, ()) == ()
+                continue
+            for hop in table.next_hops[node]:
+                weight = topology.find_link(node, hop).weight_from(node)
+                assert reference[hop] + weight == reference[node]
+
+    @given(st.integers(4, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_failed_link_never_appears_on_spf_paths(self, size):
+        topology = ring(size)
+        origin = topology.nodes[0]
+        network = ospf_everywhere(topology, prefix_for={origin: Prefix("10.9.9.0/24")})
+        failed = topology.links[0]
+        table = OspfComputation(network).compute([origin], failed_links={failed.link_id})
+        # The ring minus one link is a chain: it stays connected and no node
+        # uses the failed link's far endpoint as a next hop across that link.
+        for node in topology.nodes:
+            assert table.is_reachable(node)
+            if node == failed.a:
+                assert failed.b not in table.next_hops[node] or len(
+                    topology.links_between(failed.a, failed.b)
+                ) > 1

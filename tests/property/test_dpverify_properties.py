@@ -1,0 +1,127 @@
+"""Property-based tests for the incremental data plane verifier.
+
+The central claim of the incremental design is that re-checking only the
+equivalence classes overlapping a changed rule is *equivalent* to re-checking
+everything: an incremental run must never miss a violation that a full
+re-check would find for the affected destinations, and installing then
+removing a rule must leave the verifier's verdict unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpverify import (
+    ForwardingRule,
+    IncrementalDataPlaneVerifier,
+    LoopFree,
+    RuleAction,
+)
+from repro.netaddr import MAX_IPV4, Prefix
+
+DEVICES = ["d0", "d1", "d2", "d3"]
+
+
+def aligned_prefix(network: int, length: int) -> Prefix:
+    mask = (((1 << length) - 1) << (32 - length)) if length else 0
+    return Prefix(network & mask, length)
+
+
+def rule_from(raw) -> ForwardingRule:
+    """Decode one generated tuple into a forwarding rule."""
+    device_index, network, length, target_index, action_choice = raw
+    device = DEVICES[device_index % len(DEVICES)]
+    prefix = aligned_prefix(network, 8 + (length % 17))  # /8 .. /24
+    if action_choice == 0:
+        return ForwardingRule(device=device, prefix=prefix, action=RuleAction.DELIVER)
+    if action_choice == 1:
+        return ForwardingRule(device=device, prefix=prefix, action=RuleAction.DROP)
+    target = DEVICES[target_index % len(DEVICES)]
+    if target == device:
+        target = DEVICES[(target_index + 1) % len(DEVICES)]
+    return ForwardingRule(
+        device=device, prefix=prefix, action=RuleAction.FORWARD, next_hops=(target,)
+    )
+
+
+raw_rules = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, MAX_IPV4),
+        st.integers(0, 16),
+        st.integers(0, 3),
+        st.integers(0, 2),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestIncrementalEquivalence:
+    @given(raw_rules, st.tuples(st.integers(0, 3), st.integers(0, MAX_IPV4), st.integers(0, 16), st.integers(0, 3), st.integers(0, 2)))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_report_matches_full_check_on_affected_classes(self, raw, raw_update):
+        base_rules = [rule_from(r) for r in raw]
+        update = rule_from(raw_update)
+
+        verifier = IncrementalDataPlaneVerifier(DEVICES, [LoopFree()])
+        for rule in base_rules:
+            verifier._table(rule.device).install(rule)
+        verifier._classes = None
+
+        incremental = verifier.install(update)
+        full = verifier.check_all()
+
+        # Every violation the full check finds inside the updated prefix must
+        # also be reported by the incremental check (and vice versa).
+        update_range = update.prefix.to_range()
+        full_affected = {
+            (v.equivalence_class.low, v.equivalence_class.high, v.invariant)
+            for v in full.violations
+            if v.equivalence_class.overlaps(update_range)
+        }
+        incremental_found = {
+            (v.equivalence_class.low, v.equivalence_class.high, v.invariant)
+            for v in incremental.violations
+        }
+        assert incremental_found == full_affected
+
+    @given(raw_rules, st.tuples(st.integers(0, 3), st.integers(0, MAX_IPV4), st.integers(0, 16), st.integers(0, 3), st.integers(0, 2)))
+    @settings(max_examples=60, deadline=None)
+    def test_install_then_remove_is_a_no_op(self, raw, raw_update):
+        base_rules = [rule_from(r) for r in raw]
+        update = rule_from(raw_update)
+
+        verifier = IncrementalDataPlaneVerifier(DEVICES, [LoopFree()])
+        for rule in base_rules:
+            verifier._table(rule.device).install(rule)
+        verifier._classes = None
+        before = verifier.check_all()
+        before_rules = {r.describe() for r in verifier.rules()}
+
+        replaced_existing = any(
+            r.device == update.device and r.prefix == update.prefix and r.priority == update.priority
+            for r in base_rules
+        )
+        verifier.install(update)
+        verifier.remove(update)
+        after = verifier.check_all()
+
+        if not replaced_existing:
+            assert {r.describe() for r in verifier.rules()} == before_rules
+            assert after.holds == before.holds
+            assert len(after.violations) == len(before.violations)
+
+    @given(raw_rules)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_classes_cover_every_rule_prefix(self, raw):
+        rules = [rule_from(r) for r in raw]
+        verifier = IncrementalDataPlaneVerifier(DEVICES, [LoopFree()])
+        for rule in rules:
+            verifier._table(rule.device).install(rule)
+        verifier._classes = None
+        classes = verifier.equivalence_classes()
+        for rule in rules:
+            covering = [ec for ec in classes if ec.overlaps(rule.prefix.to_range())]
+            assert covering
+            assert covering[0].low == rule.prefix.first
+            assert covering[-1].high == rule.prefix.last

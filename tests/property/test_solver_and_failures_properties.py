@@ -1,0 +1,150 @@
+"""Property-based tests for the SAT substrate and the failure-scenario logic.
+
+The DPLL solver stands in for Z3 in the Minesweeper-like baseline; its
+verdicts must agree with brute-force enumeration on small formulas.  The
+failure-equivalence reduction (§4.3) must only ever *drop* redundant
+scenarios, never invent ones that full enumeration would not contain.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sat import CnfFormula, SatResult, SatSolver
+from repro.topology import (
+    enumerate_failure_scenarios,
+    fat_tree,
+    reduced_failure_scenarios,
+    ring,
+)
+
+
+# --------------------------------------------------------------------------- SAT
+def brute_force_satisfiable(clauses, variable_count):
+    """Try every assignment of ``variable_count`` booleans."""
+    if variable_count == 0:
+        return all(clauses) if clauses else True
+    for bits in itertools.product([False, True], repeat=variable_count):
+        assignment = {i + 1: bits[i] for i in range(variable_count)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(-6, 6).filter(lambda lit: lit != 0),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestSatSolverProperties:
+    @given(clause_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_verdict_matches_bruteforce(self, raw_clauses):
+        formula = CnfFormula()
+        variable_count = max((abs(l) for clause in raw_clauses for l in clause), default=0)
+        for _ in range(variable_count):
+            formula.new_variable()
+        for clause in raw_clauses:
+            formula.add_clause(clause)
+        result, model = SatSolver(formula).solve()
+        expected = brute_force_satisfiable(raw_clauses, variable_count)
+        assert (result is SatResult.SAT) == expected
+
+    @given(clause_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_returned_model_satisfies_every_clause(self, raw_clauses):
+        formula = CnfFormula()
+        variable_count = max((abs(l) for clause in raw_clauses for l in clause), default=0)
+        for _ in range(variable_count):
+            formula.new_variable()
+        for clause in raw_clauses:
+            formula.add_clause(clause)
+        result, model = SatSolver(formula).solve()
+        if result is not SatResult.SAT:
+            return
+        assert model is not None
+        for clause in raw_clauses:
+            assert any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+    @given(st.integers(1, 6))
+    def test_exactly_one_encoding(self, width):
+        formula = CnfFormula()
+        variables = [formula.new_variable() for _ in range(width)]
+        formula.add_exactly_one(variables)
+        result, model = SatSolver(formula).solve()
+        assert result is SatResult.SAT
+        assert sum(1 for v in variables if model.get(v, False)) == 1
+
+    @given(st.integers(2, 6), st.integers(0, 3))
+    def test_at_most_k_encoding(self, width, k):
+        formula = CnfFormula()
+        variables = [formula.new_variable() for _ in range(width)]
+        formula.add_at_most_k(variables, k)
+        # Forcing k+1 of them true must be unsatisfiable.
+        if k + 1 <= width:
+            for variable in variables[: k + 1]:
+                formula.add_clause([variable])
+            result, _model = SatSolver(formula).solve()
+            assert result is SatResult.UNSAT
+
+
+# --------------------------------------------------------------------------- failures
+class TestFailureScenarioProperties:
+    @given(st.integers(3, 8), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_counts_match_binomials(self, ring_size, max_failures):
+        topology = ring(ring_size)
+        scenarios = enumerate_failure_scenarios(topology, max_failures)
+        links = topology.link_count
+        expected = sum(
+            len(list(itertools.combinations(range(links), count)))
+            for count in range(0, max_failures + 1)
+        )
+        assert len(scenarios) == expected
+        assert all(len(s) <= max_failures for s in scenarios)
+        # Scenarios are unique.
+        assert len({s.failed_links for s in scenarios}) == len(scenarios)
+
+    @given(st.integers(3, 8), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_is_a_subset_of_full_enumeration(self, ring_size, max_failures):
+        topology = ring(ring_size)
+        colors = {name: 0 for name in topology.nodes}
+        full = {s.failed_links for s in enumerate_failure_scenarios(topology, max_failures)}
+        reduced = reduced_failure_scenarios(topology, max_failures, colors=colors)
+        assert {s.failed_links for s in reduced} <= full
+        # The empty scenario is always kept.
+        assert () in {s.failed_links for s in reduced}
+
+    @given(st.sampled_from([4, 6]), st.integers(1, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_reduction_shrinks_symmetric_fat_trees(self, k, max_failures):
+        topology = fat_tree(k)
+        colors = {name: topology.node(name).role for name in topology.nodes}
+        full = enumerate_failure_scenarios(topology, max_failures)
+        reduced = reduced_failure_scenarios(topology, max_failures, colors=colors)
+        assert len(reduced) < len(full)
+
+    @given(st.integers(3, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_interesting_nodes_stay_in_singleton_classes(self, ring_size):
+        topology = ring(ring_size)
+        colors = {name: 0 for name in topology.nodes}
+        interesting = [topology.nodes[0]]
+        reduced_plain = reduced_failure_scenarios(topology, 1, colors=colors)
+        reduced_marked = reduced_failure_scenarios(
+            topology, 1, colors=colors, interesting_nodes=interesting
+        )
+        # Marking a node as interesting can only preserve or increase the
+        # number of distinguishable link classes.
+        assert len(reduced_marked) >= len(reduced_plain)

@@ -1,0 +1,223 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_HOLDS, EXIT_VIOLATION, build_parser, main
+
+
+TOPOLOGY_TEXT = """
+topology triangle
+node r1 role edge
+node r2 role core
+node r3 role core
+link r1 r2 weight 10
+link r2 r3 weight 10
+link r1 r3 weight 10
+"""
+
+GOOD_CONFIG = """
+device r1
+  ospf
+    network 10.0.1.0/24
+device r2
+  ospf
+device r3
+  ospf
+"""
+
+# Static routes on r2 and r3 override OSPF for the advertised prefix and send
+# packets around the r2 <-> r3 link forever (the Fig. 7a "fail" pattern).
+LOOPING_CONFIG = GOOD_CONFIG + """
+device r2
+  ospf
+  static 10.0.1.0/24 next-hop r3
+device r3
+  ospf
+  static 10.0.1.0/24 next-hop r2
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A directory containing the triangle topology and both config variants."""
+    (tmp_path / "net.topo").write_text(TOPOLOGY_TEXT)
+    (tmp_path / "good.cfg").write_text(GOOD_CONFIG)
+    (tmp_path / "looping.cfg").write_text(LOOPING_CONFIG)
+    return tmp_path
+
+
+def _run(args):
+    return main([str(a) for a in args])
+
+
+class TestVerifyCommand:
+    def test_reachability_holds(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "reachability", "--sources", "r2,r3",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "HOLDS" in out
+
+    def test_loop_violation_detected(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",
+            "--policy", "loop",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATION
+        assert "VIOLATED" in out
+        assert "loop" in out.lower()
+
+    def test_json_output_is_parseable(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",
+            "--policy", "loop", "--json",
+        ])
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_VIOLATION
+        assert document["holds"] is False
+        assert document["violations"]
+        assert document["policy"]
+
+    def test_reachability_under_failures(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "reachability", "--sources", "r2", "--max-failures", "1",
+        ])
+        assert code == EXIT_HOLDS
+        assert "failure scenario" in capsys.readouterr().out
+
+    def test_waypoint_requires_sources_and_waypoints(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "waypoint",
+        ])
+        assert code == EXIT_ERROR
+        assert "requires" in capsys.readouterr().err
+
+    def test_bounded_path_length(self, workspace):
+        assert _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "bounded-path-length", "--max-hops", "2",
+        ]) == EXIT_HOLDS
+
+    def test_unknown_source_device_is_an_input_error(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "reachability", "--sources", "nope",
+        ])
+        assert code == EXIT_ERROR
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_missing_topology_file_is_an_input_error(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "missing.topo", "--config", workspace / "good.cfg",
+            "--policy", "loop",
+        ])
+        assert code == EXIT_ERROR
+
+    def test_no_optimizations_flag_still_verifies(self, workspace):
+        assert _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",
+            "--policy", "loop", "--no-optimizations",
+        ]) == EXIT_VIOLATION
+
+    def test_config_dir_mode(self, workspace, tmp_path):
+        config_dir = tmp_path / "configs"
+        config_dir.mkdir()
+        (config_dir / "r1.cfg").write_text("ospf\n  network 10.0.1.0/24\n")
+        (config_dir / "r2.cfg").write_text("ospf\n")
+        (config_dir / "r3.cfg").write_text("ospf\n")
+        assert _run([
+            "verify", "--topology", workspace / "net.topo", "--config-dir", config_dir,
+            "--policy", "reachability",
+        ]) == EXIT_HOLDS
+
+    def test_config_dir_with_unknown_device_is_rejected(self, workspace, tmp_path, capsys):
+        config_dir = tmp_path / "configs"
+        config_dir.mkdir()
+        (config_dir / "r9.cfg").write_text("ospf\n")
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config-dir", config_dir,
+            "--policy", "reachability",
+        ])
+        assert code == EXIT_ERROR
+        assert "does not match" in capsys.readouterr().err
+
+
+class TestPecsCommand:
+    def test_lists_packet_equivalence_classes(self, workspace, capsys):
+        code = _run([
+            "pecs", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "packet equivalence class" in out
+        assert "10.0.1.0/24" in out
+        assert "no cross-PEC dependencies" in out
+
+
+class TestSimulateCommand:
+    def test_dumps_fibs(self, workspace, capsys):
+        code = _run([
+            "simulate", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "10.0.1.0/24" in out
+        # Every router should have an entry towards the advertised prefix.
+        assert "r2:" in out and "r3:" in out
+
+
+class TestTraceCommand:
+    def test_traces_delivered_packet(self, workspace, capsys):
+        code = _run([
+            "trace", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--source", "r3", "--destination", "10.0.1.7",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "forwarding branches from r3" in out
+        assert "delivered" in out
+
+    def test_traces_looping_packet(self, workspace, capsys):
+        code = _run([
+            "trace", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",
+            "--source", "r2", "--destination", "10.0.1.7", "--show-fibs",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "loop" in out
+
+    def test_unconfigured_destination_reports_drop(self, workspace, capsys):
+        code = _run([
+            "trace", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--source", "r1", "--destination", "192.168.55.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "no configured prefix" in out
+
+    def test_bad_destination_address_is_an_input_error(self, workspace, capsys):
+        code = _run([
+            "trace", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--source", "r1", "--destination", "not-an-ip",
+        ])
+        assert code == EXIT_ERROR
+
+
+class TestParser:
+    def test_parser_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_requires_policy(self, workspace):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "--topology", str(workspace / "net.topo"),
+                 "--config", str(workspace / "good.cfg")]
+            )

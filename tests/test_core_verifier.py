@@ -1,0 +1,311 @@
+"""End-to-end verifier tests: the paper's §5 correctness scenarios in miniature."""
+
+import pytest
+
+from repro import OptimizationFlags, Plankton, PlanktonOptions, verify
+from repro.config import ConfigBuilder, ebgp_rfc7938, ibgp_over_ospf, ospf_everywhere
+from repro.config.builder import edge_prefix, install_loop_inducing_statics
+from repro.exceptions import VerificationError
+from repro.netaddr import Prefix
+from repro.policies import (
+    BlackHoleFreedom,
+    BoundedPathLength,
+    LoopFreedom,
+    MultipathConsistency,
+    PathConsistency,
+    Reachability,
+    Waypoint,
+)
+from repro.topology import bgp_fat_tree, fat_tree, linear_chain, ring, rocketfuel_like
+
+
+class TestOspfFatTree:
+    """The Figure 7(a)/(b) scenarios at small scale."""
+
+    def test_loop_freedom_holds(self):
+        network = ospf_everywhere(fat_tree(4))
+        result = Plankton(network).verify(LoopFreedom())
+        assert result.holds
+        assert result.pecs_analyzed == 8
+
+    def test_loop_freedom_violated_by_static_cycle(self):
+        network = ospf_everywhere(fat_tree(4))
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 0), ["agg1_0", "edge1_0", "agg1_1", "edge1_1"]
+        )
+        result = Plankton(network).verify(LoopFreedom())
+        assert not result.holds
+        violation = result.first_violation()
+        assert violation.policy == "loop-freedom"
+        assert "loop" in violation.message.lower()
+
+    def test_consistent_static_routes_keep_policy(self):
+        """Static routes matching what OSPF computes do not create loops
+        (the paper's first 'pass' variant)."""
+        network = ospf_everywhere(fat_tree(4))
+        # core0 reaches edge0_0's prefix via agg0_0 under OSPF; install the same.
+        network.device("core0").static_routes.append(
+            __import__("repro.config.objects", fromlist=["StaticRoute"]).StaticRoute(
+                prefix=edge_prefix(0, 0), next_hop_node="agg0_0"
+            )
+        )
+        result = Plankton(network).verify(LoopFreedom())
+        assert result.holds
+
+    def test_single_ip_reachability(self):
+        network = ospf_everywhere(fat_tree(4))
+        policy = Reachability(destination_prefix=edge_prefix(0, 0), require_all_branches=False)
+        result = Plankton(network).verify(policy)
+        assert result.holds
+        assert result.pecs_analyzed == 1
+
+    def test_blackhole_freedom_holds(self):
+        network = ospf_everywhere(fat_tree(4))
+        result = Plankton(network).verify(BlackHoleFreedom())
+        assert result.holds
+
+    def test_bounded_path_length(self):
+        network = ospf_everywhere(fat_tree(4))
+        good = Plankton(network).verify(BoundedPathLength(max_hops=4))
+        assert good.holds
+        bad = Plankton(network).verify(BoundedPathLength(max_hops=2))
+        assert not bad.holds
+
+    def test_multiple_policies_in_one_run(self):
+        network = ospf_everywhere(fat_tree(4))
+        result = Plankton(network).verify([LoopFreedom(), BlackHoleFreedom()])
+        assert result.holds
+        assert set(result.policy_names) == {"loop-freedom", "blackhole-freedom"}
+
+
+class TestFailures:
+    def test_reachability_survives_single_failure_in_ring(self):
+        network = ospf_everywhere(
+            ring(5), originate_roles=("router",), prefix_for={"r0": Prefix("10.0.0.0/24")}
+        )
+        options = PlanktonOptions(max_failures=1)
+        result = Plankton(network, options).verify(
+            Reachability(sources=["r2"], require_all_branches=False)
+        )
+        assert result.holds
+        assert result.failure_scenarios > 1
+
+    def test_reachability_violated_on_chain_failure(self):
+        network = ospf_everywhere(
+            linear_chain(3), originate_roles=("router",), prefix_for={"r0": Prefix("10.0.0.0/24")}
+        )
+        options = PlanktonOptions(max_failures=1)
+        result = Plankton(network, options).verify(
+            Reachability(sources=["r2"], require_all_branches=False)
+        )
+        assert not result.holds
+        assert "failed" in result.first_violation().failure_description
+
+    def test_two_failures_break_ring(self):
+        network = ospf_everywhere(
+            ring(5), originate_roles=("router",), prefix_for={"r0": Prefix("10.0.0.0/24")}
+        )
+        result = Plankton(network, PlanktonOptions(max_failures=2)).verify(
+            Reachability(sources=["r2"], require_all_branches=False)
+        )
+        assert not result.holds
+
+    def test_failure_equivalence_reduces_scenarios(self):
+        network = ospf_everywhere(fat_tree(4))
+        policy = Reachability(destination_prefix=edge_prefix(0, 0), require_all_branches=False)
+        reduced = Plankton(network, PlanktonOptions(max_failures=1)).verify(policy)
+        full_options = PlanktonOptions(
+            max_failures=1,
+            optimizations=OptimizationFlags().without(failure_equivalence=True),
+        )
+        full = Plankton(network, full_options).verify(policy)
+        assert reduced.holds == full.holds
+        assert reduced.failure_scenarios < full.failure_scenarios
+
+
+class TestBgpDataCenter:
+    """The Figure 7(c) scenario: non-deterministic BGP convergence."""
+
+    def _policy(self, topology, waypoints):
+        return Waypoint(
+            sources=["edge0_0"],
+            waypoints=waypoints,
+            destination_prefix=edge_prefix(3, 1),
+        )
+
+    def test_misconfigured_waypoint_violated(self):
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology, waypoints=["agg0_0"], steer_through_waypoints=False)
+        result = Plankton(network).verify(self._policy(topology, ["agg0_0"]))
+        assert not result.holds
+        violation = result.first_violation()
+        assert violation.trail is not None and len(violation.trail) > 1
+
+    def test_steered_waypoint_holds(self):
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology, waypoints=["agg0_0"], steer_through_waypoints=True)
+        result = Plankton(network).verify(self._policy(topology, ["agg0_0"]))
+        assert result.holds
+
+    def test_bgp_reachability_holds(self):
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology)
+        policy = Reachability(
+            sources=["edge0_0"], destination_prefix=edge_prefix(3, 1), require_all_branches=False
+        )
+        result = Plankton(network).verify(policy)
+        assert result.holds
+
+
+class TestIbgpOverOspf:
+    """The Figure 7(e) scenario: PEC dependencies resolved by the scheduler."""
+
+    def test_reachability_through_recursion(self):
+        topology = ring(6)
+        network = ibgp_over_ospf(topology, {"r0": Prefix("200.0.0.0/16")})
+        policy = Reachability(
+            destination_prefix=Prefix("200.0.0.0/16"), require_all_branches=False
+        )
+        result = Plankton(network).verify(policy)
+        assert result.holds
+
+    def test_route_reflector_variant(self):
+        topology = rocketfuel_like("AS1755", size=20, seed=5)
+        network = ibgp_over_ospf(
+            topology,
+            {sorted(topology.nodes)[0]: Prefix("200.0.0.0/16")},
+            route_reflectors=topology.nodes_by_role("backbone")[:2],
+        )
+        policy = Reachability(
+            destination_prefix=Prefix("200.0.0.0/16"), require_all_branches=False
+        )
+        result = Plankton(network).verify(policy)
+        assert result.holds
+
+    def test_recursive_static_route_dependency(self):
+        topology = linear_chain(3)
+        builder = ConfigBuilder(topology)
+        builder.enable_ospf("r0", [Prefix("10.0.1.0/24")])
+        builder.enable_ospf("r1")
+        builder.enable_ospf("r2")
+        builder.static_route("r2", Prefix("172.16.0.0/12"), next_hop_ip=Prefix("10.0.1.1/32"))
+        builder.static_route("r1", Prefix("172.16.0.0/12"), next_hop_node="r0")
+        builder.static_route("r0", Prefix("172.16.0.0/12"), drop=True)
+        network = builder.build()
+        policy = LoopFreedom(destination_prefix=Prefix("172.16.0.0/12"))
+        result = Plankton(network).verify(policy)
+        assert result.holds
+
+
+class TestOptimizationFlags:
+    """The Figure 8 ablations at unit-test scale: results agree, effort differs."""
+
+    def _ring_network(self):
+        return ospf_everywhere(
+            ring(4), originate_roles=("router",), prefix_for={"r0": Prefix("10.0.0.0/24")}
+        )
+
+    def test_naive_model_checking_agrees_with_optimized(self):
+        network = self._ring_network()
+        policy = Reachability(sources=["r2"], require_all_branches=False)
+        optimized = Plankton(network, PlanktonOptions(max_failures=1)).verify(policy)
+        naive_options = PlanktonOptions(
+            max_failures=1,
+            optimizations=OptimizationFlags.none_enabled(),
+            fast_ospf=False,
+        )
+        naive = Plankton(network, naive_options).verify(policy)
+        assert optimized.holds == naive.holds
+        assert naive.total_states_expanded > optimized.total_states_expanded
+
+    def test_model_checked_ospf_agrees_with_fast_path(self):
+        network = ospf_everywhere(fat_tree(4))
+        policy = LoopFreedom(destination_prefix=edge_prefix(0, 0))
+        fast = Plankton(network, PlanktonOptions(fast_ospf=True)).verify(policy)
+        slow = Plankton(network, PlanktonOptions(fast_ospf=False)).verify(policy)
+        assert fast.holds == slow.holds is True
+
+    def test_bgp_without_deterministic_nodes_agrees(self):
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology, waypoints=["agg0_0"], steer_through_waypoints=False)
+        policy = Waypoint(
+            sources=["edge0_0"], waypoints=["agg0_0"], destination_prefix=edge_prefix(3, 1)
+        )
+        default = Plankton(network).verify(policy)
+        no_det = Plankton(
+            network,
+            PlanktonOptions(optimizations=OptimizationFlags().without(deterministic_nodes=True)),
+        ).verify(policy)
+        assert default.holds == no_det.holds is False
+
+    def test_bitstate_hashing_still_finds_violation(self):
+        network = ospf_everywhere(fat_tree(4))
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 0), ["agg1_0", "edge1_0", "agg1_1", "edge1_1"]
+        )
+        options = PlanktonOptions(
+            optimizations=OptimizationFlags(bitstate_hashing=True), fast_ospf=False
+        )
+        result = Plankton(network, options).verify(LoopFreedom())
+        assert not result.holds
+
+    def test_without_helper(self):
+        flags = OptimizationFlags().without(deterministic_nodes=True, policy_based_pruning=True)
+        assert not flags.deterministic_nodes
+        assert not flags.policy_based_pruning
+        assert flags.consistent_execution
+
+
+class TestResultsAndApi:
+    def test_verify_function_wrapper(self):
+        network = ospf_everywhere(fat_tree(4))
+        result = verify(network, LoopFreedom())
+        assert result.holds
+
+    def test_requires_at_least_one_policy(self):
+        network = ospf_everywhere(fat_tree(4))
+        with pytest.raises(VerificationError):
+            Plankton(network).verify([])
+
+    def test_summary_mentions_policy_and_verdict(self):
+        network = ospf_everywhere(fat_tree(4))
+        result = Plankton(network).verify(LoopFreedom())
+        summary = result.summary()
+        assert "loop-freedom" in summary and "HOLDS" in summary
+
+    def test_violation_render_includes_trail(self):
+        network = ospf_everywhere(fat_tree(4))
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 0), ["agg1_0", "edge1_0", "agg1_1", "edge1_1"]
+        )
+        result = Plankton(network).verify(LoopFreedom())
+        text = result.first_violation().render()
+        assert "policy" in text and "loop" in text.lower()
+
+    def test_stop_at_first_violation_vs_all(self):
+        network = ospf_everywhere(fat_tree(4))
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 0), ["agg1_0", "edge1_0", "agg1_1", "edge1_1"]
+        )
+        install_loop_inducing_statics(
+            network, edge_prefix(0, 1), ["agg2_0", "edge2_0", "agg2_1", "edge2_1"]
+        )
+        first_only = Plankton(network, PlanktonOptions(stop_at_first_violation=True)).verify(LoopFreedom())
+        all_of_them = Plankton(network, PlanktonOptions(stop_at_first_violation=False)).verify(LoopFreedom())
+        assert len(first_only.violations) == 1
+        assert len(all_of_them.violations) >= 2
+
+    def test_keep_data_planes(self):
+        network = ospf_everywhere(fat_tree(4))
+        options = PlanktonOptions(keep_data_planes=True)
+        result = Plankton(network, options).verify(LoopFreedom())
+        assert any(run.data_planes for run in result.pec_runs)
+
+    def test_parallel_cores_match_serial(self):
+        network = ospf_everywhere(fat_tree(4))
+        serial = Plankton(network, PlanktonOptions(stop_at_first_violation=False)).verify(LoopFreedom())
+        parallel = Plankton(
+            network, PlanktonOptions(cores=2, stop_at_first_violation=False)
+        ).verify(LoopFreedom())
+        assert serial.holds == parallel.holds
+        assert len(serial.pec_runs) == len(parallel.pec_runs)

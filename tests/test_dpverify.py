@@ -1,0 +1,288 @@
+"""Tests for the incremental data plane verifier (repro.dpverify)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ospf_everywhere
+from repro.core.options import PlanktonOptions
+from repro.core.verifier import Plankton
+from repro.dpverify import (
+    BoundedLength,
+    ForwardingRule,
+    IncrementalDataPlaneVerifier,
+    LoopFree,
+    NoBlackHole,
+    Reachable,
+    RuleAction,
+    RuleTable,
+    Waypointed,
+    classes_overlapping,
+    compute_equivalence_classes,
+    deliver,
+    drop,
+    forward,
+)
+from repro.exceptions import ReproError
+from repro.netaddr import MAX_IPV4, Prefix
+from repro.policies import LoopFreedom
+from repro.topology import fat_tree
+
+
+# --------------------------------------------------------------------------- rules
+class TestForwardingRule:
+    def test_forward_requires_next_hops(self):
+        with pytest.raises(ReproError):
+            ForwardingRule(device="a", prefix=Prefix("10.0.0.0/8"), action=RuleAction.FORWARD)
+
+    def test_drop_rejects_next_hops(self):
+        with pytest.raises(ReproError):
+            ForwardingRule(
+                device="a",
+                prefix=Prefix("10.0.0.0/8"),
+                action=RuleAction.DROP,
+                next_hops=("b",),
+            )
+
+    def test_describe_mentions_next_hops(self):
+        assert "b" in forward("a", "10.0.0.0/8", "b").describe()
+        assert "drop" in drop("a", "10.0.0.0/8").describe()
+
+
+class TestRuleTable:
+    def test_longest_prefix_wins(self):
+        table = RuleTable("a")
+        table.install(forward("a", "10.0.0.0/8", "b"))
+        table.install(forward("a", "10.1.0.0/16", "c"))
+        assert table.lookup(Prefix("10.1.2.3/32").first).next_hops == ("c",)
+        assert table.lookup(Prefix("10.2.2.3/32").first).next_hops == ("b",)
+
+    def test_priority_breaks_equal_length_ties(self):
+        table = RuleTable("a")
+        table.install(forward("a", "10.0.0.0/8", "b", priority=1))
+        table.install(forward("a", "10.0.0.0/8", "c", priority=5))
+        assert table.lookup(Prefix("10.9.9.9/32").first).next_hops == ("c",)
+
+    def test_install_replaces_same_prefix_and_priority(self):
+        table = RuleTable("a")
+        first = forward("a", "10.0.0.0/8", "b")
+        replaced = table.install(forward("a", "10.0.0.0/8", "c"))
+        assert replaced is None
+        assert table.install(first).next_hops == ("c",)
+        assert len(table) == 1
+
+    def test_remove_returns_presence(self):
+        table = RuleTable("a")
+        rule = forward("a", "10.0.0.0/8", "b")
+        table.install(rule)
+        assert table.remove(rule) is True
+        assert table.remove(rule) is False
+        assert table.lookup(Prefix("10.0.0.1/32").first) is None
+
+    def test_rejects_rules_for_other_devices(self):
+        with pytest.raises(ReproError):
+            RuleTable("a").install(forward("b", "10.0.0.0/8", "c"))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, MAX_IPV4), st.integers(8, 32)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(0, MAX_IPV4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_matches_bruteforce_lpm(self, raw_prefixes, address):
+        table = RuleTable("a")
+        rules = []
+        for network, length in raw_prefixes:
+            prefix = Prefix(network & (((1 << length) - 1) << (32 - length)), length)
+            rule = ForwardingRule(device="a", prefix=prefix, action=RuleAction.DROP)
+            table.install(rule)
+            rules.append(rule)
+        expected = [r for r in rules if r.prefix.contains_address(address)]
+        looked_up = table.lookup(address)
+        if not expected:
+            assert looked_up is None
+        else:
+            best_length = max(r.prefix.length for r in expected)
+            assert looked_up is not None
+            assert looked_up.prefix.length == best_length
+
+
+# --------------------------------------------------------------------------- classes
+class TestEquivalenceClasses:
+    def test_no_prefixes_yields_single_class(self):
+        classes = compute_equivalence_classes([])
+        assert len(classes) == 1
+        assert classes[0].low == 0
+        assert classes[0].high == MAX_IPV4
+
+    def test_partition_matches_paper_example(self):
+        # Figure 4: 128.0.0.0/1 and 192.0.0.0/2 partition the space into three.
+        classes = compute_equivalence_classes([Prefix("128.0.0.0/1"), Prefix("192.0.0.0/2")])
+        assert len(classes) == 3
+        assert classes[0].high == Prefix("0.0.0.0/1").last
+        assert classes[1].low == Prefix("128.0.0.0/2").first
+        assert classes[2].low == Prefix("192.0.0.0/2").first
+
+    def test_overlap_query_returns_only_touching_classes(self):
+        classes = compute_equivalence_classes([Prefix("10.0.0.0/8"), Prefix("10.1.0.0/16")])
+        touched = classes_overlapping(classes, Prefix("10.1.0.0/16"))
+        assert all(ec.overlaps(Prefix("10.1.0.0/16").to_range()) for ec in touched)
+        assert len(touched) < len(classes)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, MAX_IPV4), st.integers(0, 32)),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partition_covers_space_without_overlap(self, raw_prefixes):
+        prefixes = [
+            Prefix(network & (((1 << length) - 1) << (32 - length)) if length else 0, length)
+            for network, length in raw_prefixes
+        ]
+        classes = compute_equivalence_classes(prefixes)
+        # Full coverage, contiguity, no overlap.
+        assert classes[0].low == 0
+        assert classes[-1].high == MAX_IPV4
+        for before, after in zip(classes, classes[1:]):
+            assert after.low == before.high + 1
+        # Class boundaries never split a prefix: each prefix is a union of classes.
+        for prefix in prefixes:
+            inside = [ec for ec in classes if ec.overlaps(prefix.to_range())]
+            assert inside[0].low == prefix.first
+            assert inside[-1].high == prefix.last
+
+
+# --------------------------------------------------------------------------- verifier
+def _three_node_verifier(invariants):
+    return IncrementalDataPlaneVerifier(["a", "b", "c"], invariants)
+
+
+class TestIncrementalVerifier:
+    def test_detects_loop_introduced_by_one_rule(self):
+        verifier = _three_node_verifier([LoopFree()])
+        assert verifier.install(forward("a", "10.0.0.0/24", "b")).holds
+        assert verifier.install(forward("b", "10.0.0.0/24", "c")).holds
+        report = verifier.install(forward("c", "10.0.0.0/24", "a"))
+        assert not report.holds
+        assert report.violations[0].invariant == "loop-free"
+
+    def test_loop_clears_after_rule_removal(self):
+        verifier = _three_node_verifier([LoopFree()])
+        looping = forward("c", "10.0.0.0/24", "a")
+        verifier.install(forward("a", "10.0.0.0/24", "b"))
+        verifier.install(forward("b", "10.0.0.0/24", "c"))
+        assert not verifier.install(looping).holds
+        assert verifier.remove(looping).holds
+        assert verifier.check_all().holds
+
+    def test_reachability_invariant(self):
+        verifier = _three_node_verifier([Reachable(["a"])])
+        verifier.install(forward("a", "10.0.0.0/24", "b"))
+        verifier.install(forward("b", "10.0.0.0/24", "c"))
+        report = verifier.install(deliver("c", "10.0.0.0/24"))
+        assert report.holds
+
+    def test_more_specific_rule_only_affects_overlapping_classes(self):
+        verifier = _three_node_verifier([LoopFree()])
+        verifier.install(forward("a", "10.0.0.0/8", "b"))
+        verifier.install(deliver("b", "10.0.0.0/8"))
+        report = verifier.install(forward("b", "10.0.1.0/24", "a"))
+        # Only the classes under 10.0.1.0/24 are re-checked, and the new rule
+        # bounces traffic back to a, whose /8 returns it: a loop.
+        assert report.classes_checked <= 2
+        assert not report.holds
+        assert verifier.check_all().classes_checked >= report.classes_checked
+
+    def test_waypoint_and_bounded_length_invariants(self):
+        verifier = IncrementalDataPlaneVerifier(
+            ["edge", "agg", "core", "dst"],
+            [Waypointed(["edge"], ["agg"]), BoundedLength(3, sources=["edge"])],
+        )
+        verifier.install(forward("edge", "10.0.0.0/24", "core"))
+        verifier.install(forward("core", "10.0.0.0/24", "dst"))
+        report = verifier.install(deliver("dst", "10.0.0.0/24"))
+        # Delivered but bypassing the aggregation waypoint.
+        assert any(v.invariant == "waypointed" for v in report.violations)
+        assert all(v.invariant != "bounded-length" for v in report.violations)
+
+    def test_no_blackhole_strict_mode(self):
+        verifier = _three_node_verifier([NoBlackHole(strict=True)])
+        report = verifier.install(forward("a", "10.0.0.0/24", "b"))
+        assert not report.holds  # b has no rule at all: strict mode reports it
+        lenient = _three_node_verifier([NoBlackHole(strict=False)])
+        assert lenient.install(forward("a", "10.0.0.0/24", "b")).holds
+
+    def test_install_batch_checks_each_affected_class_once(self):
+        verifier = _three_node_verifier([LoopFree()])
+        report = verifier.install_batch(
+            [
+                forward("a", "10.0.0.0/24", "b"),
+                forward("b", "10.0.0.0/24", "a"),
+                forward("a", "10.0.1.0/24", "c"),
+            ]
+        )
+        assert report.classes_checked == 2
+        assert len(report.violations) == 1
+
+    def test_remove_unknown_rule_raises(self):
+        verifier = _three_node_verifier([LoopFree()])
+        with pytest.raises(ReproError):
+            verifier.remove(forward("a", "10.0.0.0/24", "b"))
+
+    def test_unknown_device_raises(self):
+        verifier = _three_node_verifier([LoopFree()])
+        with pytest.raises(ReproError):
+            verifier.install(forward("zz", "10.0.0.0/24", "a"))
+
+    def test_snapshot_reflects_longest_prefix_match(self):
+        verifier = _three_node_verifier([LoopFree()])
+        verifier.install(forward("a", "10.0.0.0/8", "b"))
+        verifier.install(forward("a", "10.0.1.0/24", "c"))
+        specific = [
+            ec
+            for ec in verifier.equivalence_classes()
+            if ec.overlaps(Prefix("10.0.1.0/24").to_range())
+        ]
+        snapshot = verifier.snapshot(specific[0])
+        assert snapshot.next_hops("a", specific[0].representative()) == ("c",)
+
+
+# --------------------------------------------------------------------------- interop
+class TestPlanktonInterop:
+    def test_converged_data_plane_imports_cleanly(self):
+        network = ospf_everywhere(fat_tree(4))
+        plankton = Plankton(network, PlanktonOptions(keep_data_planes=True))
+        result = plankton.verify(LoopFreedom())
+        assert result.holds
+        data_planes = [dp for run in result.pec_runs for dp in run.data_planes]
+        assert data_planes
+        verifier = IncrementalDataPlaneVerifier.from_data_plane(
+            data_planes[0], [LoopFree(), NoBlackHole()]
+        )
+        assert verifier.rules()
+        assert verifier.check_all().holds
+
+    def test_bad_rule_injected_into_converged_data_plane_is_caught(self):
+        network = ospf_everywhere(fat_tree(4))
+        plankton = Plankton(network, PlanktonOptions(keep_data_planes=True))
+        result = plankton.verify(LoopFreedom())
+        data_plane = [dp for run in result.pec_runs for dp in run.data_planes][0]
+        verifier = IncrementalDataPlaneVerifier.from_data_plane(data_plane, [LoopFree()])
+        # Reverse one forwarding edge so that two adjacent devices point at
+        # each other for the covered prefix.
+        sample = next(r for r in verifier.rules() if r.action is RuleAction.FORWARD)
+        reversed_rule = ForwardingRule(
+            device=sample.next_hops[0],
+            prefix=sample.prefix,
+            action=RuleAction.FORWARD,
+            next_hops=(sample.device,),
+            priority=99,
+        )
+        report = verifier.install(reversed_rule)
+        assert not report.holds

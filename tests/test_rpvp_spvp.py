@@ -1,0 +1,277 @@
+"""Tests for the RPVP and SPVP models, including their agreement on converged states.
+
+The gadgets come from the stable-paths literature referenced by the paper
+(Griffin et al.): GOOD GADGET converges to a unique state, DISAGREE has two
+stable states, BAD GADGET diverges under SPVP but has no converged state.
+"""
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ConfigBuilder, ospf_everywhere
+from repro.exceptions import ProtocolError
+from repro.netaddr import Prefix
+from repro.protocols import (
+    EPSILON,
+    Path,
+    PathVectorInstance,
+    Route,
+    RpvpState,
+    SpvpSimulator,
+    build_ospf_instance,
+    enabled_nodes,
+    is_converged,
+    rpvp_successors,
+    run_to_convergence,
+)
+from repro.protocols.rpvp import forwarding_next_hops, initial_state, is_invalid, step_node
+from repro.topology import fat_tree, linear_chain, ring
+
+
+class GadgetInstance(PathVectorInstance):
+    """A stable-paths gadget: explicit path preference lists per node.
+
+    ``preferences[node]`` lists full paths (tuples of nodes ending at the
+    origin) from most to least preferred; any path not listed is rejected by
+    the import filter.
+    """
+
+    def __init__(self, origin: str, edges: Dict[str, Sequence[str]], preferences: Dict[str, Sequence[Tuple[str, ...]]]):
+        self.origin = origin
+        self._edges = {node: tuple(peers) for node, peers in edges.items()}
+        self._preferences = {node: [Path(p) for p in prefs] for node, prefs in preferences.items()}
+        self.name = "gadget"
+
+    def nodes(self):
+        return sorted(self._edges)
+
+    def origins(self):
+        return [self.origin]
+
+    def peers(self, node):
+        return self._edges[node]
+
+    def origin_route(self, node):
+        return Route(path=EPSILON, origin_node=node)
+
+    def export(self, exporter, importer, route):
+        if route is None:
+            return None
+        return route.with_path(route.path.prepend(exporter))
+
+    def import_(self, importer, exporter, route):
+        if route is None:
+            return None
+        if importer == self.origin:
+            return None
+        if route.path in self._preferences.get(importer, []):
+            return route
+        return None
+
+    def rank(self, node, route):
+        if route.path == EPSILON:
+            return (-1,)
+        prefs = self._preferences.get(node, [])
+        try:
+            return (prefs.index(route.path),)
+        except ValueError:
+            return (len(prefs) + 1,)
+
+
+def good_gadget() -> GadgetInstance:
+    """Unique stable state: every node prefers its direct path to the origin."""
+    edges = {"o": ("a", "b"), "a": ("o", "b"), "b": ("o", "a")}
+    preferences = {
+        "a": [("o",), ("b", "o")],
+        "b": [("o",), ("a", "o")],
+    }
+    return GadgetInstance("o", edges, preferences)
+
+
+def disagree_gadget() -> GadgetInstance:
+    """DISAGREE: two stable states (a via b, or b via a)."""
+    edges = {"o": ("a", "b"), "a": ("o", "b"), "b": ("o", "a")}
+    preferences = {
+        "a": [("b", "o"), ("o",)],
+        "b": [("a", "o"), ("o",)],
+    }
+    return GadgetInstance("o", edges, preferences)
+
+
+def bad_gadget() -> GadgetInstance:
+    """BAD GADGET: no stable state (SPVP diverges)."""
+    edges = {
+        "o": ("a", "b", "c"),
+        "a": ("o", "b", "c"),
+        "b": ("o", "a", "c"),
+        "c": ("o", "a", "b"),
+    }
+    preferences = {
+        "a": [("b", "o"), ("o",)],
+        "b": [("c", "o"), ("o",)],
+        "c": [("a", "o"), ("o",)],
+    }
+    return GadgetInstance("o", edges, preferences)
+
+
+def explore_all_converged(instance: PathVectorInstance, max_states: int = 50_000):
+    """Exhaustively enumerate RPVP converged states (raw semantics)."""
+    from repro.modelcheck import Explorer, ExplorerOptions
+
+    explorer = Explorer(
+        successors=lambda state: rpvp_successors(instance, state),
+        options=ExplorerOptions(max_states=max_states, stop_at_first_violation=False),
+    )
+    outcome = explorer.run(initial_state(instance), collect_converged=True)
+    return outcome.converged_states, outcome.statistics
+
+
+class TestRpvpSemantics:
+    def test_initial_state(self):
+        instance = good_gadget()
+        state = initial_state(instance)
+        assert state.best("o").path == EPSILON
+        assert state.best("a") is None
+
+    def test_enabled_nodes_initially_origin_neighbors(self):
+        instance = good_gadget()
+        state = initial_state(instance)
+        assert set(enabled_nodes(instance, state)) == {"a", "b"}
+
+    def test_step_node_produces_best_choice(self):
+        instance = good_gadget()
+        state = initial_state(instance)
+        successors = step_node(instance, state, "a")
+        assert len(successors) == 1
+        transition, new_state = successors[0]
+        assert new_state.best("a").path == Path(("o",))
+
+    def test_good_gadget_unique_convergence(self):
+        instance = good_gadget()
+        converged, _stats = explore_all_converged(instance)
+        paths = {tuple(state.best(n).path for n in ("a", "b")) for state in converged}
+        assert paths == {(Path(("o",)), Path(("o",)))}
+
+    def test_disagree_two_converged_states(self):
+        instance = disagree_gadget()
+        converged, _stats = explore_all_converged(instance)
+        signatures = set()
+        for state in converged:
+            signatures.add((tuple(state.best("a").path), tuple(state.best("b").path)))
+        assert signatures == {(("b", "o"), ("o",)), (("o",), ("a", "o"))}
+
+    def test_bad_gadget_has_no_converged_state(self):
+        instance = bad_gadget()
+        converged, stats = explore_all_converged(instance, max_states=20_000)
+        assert converged == []
+        assert not stats.truncated
+
+    def test_run_to_convergence_simulation(self):
+        instance = good_gadget()
+        state, history = run_to_convergence(instance)
+        assert is_converged(instance, state)
+        assert len(history) >= 2
+
+    def test_run_to_convergence_raises_on_divergence(self):
+        instance = bad_gadget()
+        with pytest.raises(ProtocolError):
+            run_to_convergence(instance, max_steps=200)
+
+    def test_invalid_detection(self):
+        instance = good_gadget()
+        # Manually build a state where a's path is not backed by its next hop.
+        state = RpvpState.from_dict(
+            {
+                "o": Route(path=EPSILON),
+                "a": Route(path=Path(("b", "o"))),
+                "b": None,
+            }
+        )
+        assert is_invalid(instance, state, "a")
+
+    def test_state_equality_and_hash(self):
+        instance = good_gadget()
+        a = initial_state(instance)
+        b = initial_state(instance)
+        assert a == b and hash(a) == hash(b)
+        c = a.with_best("a", Route(path=Path(("o",))))
+        assert c != a
+
+    def test_forwarding_next_hops(self):
+        instance = good_gadget()
+        state, _ = run_to_convergence(instance)
+        hops = forwarding_next_hops(state)
+        assert hops["a"] == "o" and hops["o"] == "o"
+
+
+class TestSpvp:
+    def test_spvp_converges_on_good_gadget(self):
+        simulator = SpvpSimulator(good_gadget(), seed=1)
+        state = simulator.run()
+        assert state.best("a").path == Path(("o",))
+        assert state.best("b").path == Path(("o",))
+
+    def test_spvp_diverges_on_bad_gadget(self):
+        simulator = SpvpSimulator(bad_gadget(), seed=1)
+        with pytest.raises(ProtocolError):
+            simulator.run(max_steps=500)
+
+    def test_spvp_converged_states_are_rpvp_converged_states(self):
+        """Theorem 1 direction checked experimentally on DISAGREE: every SPVP
+        outcome (for message orders that do converge; DISAGREE can also
+        oscillate forever) is among the RPVP-explored converged states."""
+        instance = disagree_gadget()
+        rpvp_states, _ = explore_all_converged(instance)
+        rpvp_signatures = {
+            (tuple(s.best("a").path), tuple(s.best("b").path)) for s in rpvp_states
+        }
+        converged_runs = 0
+        for seed in range(10):
+            simulator = SpvpSimulator(disagree_gadget(), seed=seed)
+            try:
+                spvp_state = simulator.run(max_steps=20_000)
+            except ProtocolError:
+                continue  # this message ordering oscillates; that is legal SPVP
+            converged_runs += 1
+            signature = (tuple(spvp_state.best("a").path), tuple(spvp_state.best("b").path))
+            assert signature in rpvp_signatures
+        assert converged_runs >= 1
+
+    def test_spvp_session_failure_delivers_withdraw(self):
+        instance = good_gadget()
+        simulator = SpvpSimulator(instance, seed=0)
+        simulator.run()
+        simulator.fail_session("o", "a")
+        assert simulator.pending_messages()
+
+
+class TestRpvpOnRealProtocols:
+    def test_ospf_rpvp_matches_spf(self):
+        network = ospf_everywhere(
+            linear_chain(4, link_weight=3),
+            originate_roles=("router",),
+            prefix_for={"r0": Prefix("10.0.0.0/24")},
+        )
+        instance = build_ospf_instance(network, Prefix("10.0.0.0/24"))
+        state, _history = run_to_convergence(instance)
+        table = instance.routing_table()
+        for node in ("r1", "r2", "r3"):
+            assert state.best(node).igp_cost == table.distances[node]
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=3, max_value=6), st.integers(min_value=1, max_value=5))
+    def test_ospf_rpvp_costs_equal_spf_on_rings(self, n, weight):
+        network = ospf_everywhere(
+            ring(n, link_weight=weight),
+            originate_roles=("router",),
+            prefix_for={"r0": Prefix("10.9.0.0/24")},
+        )
+        instance = build_ospf_instance(network, Prefix("10.9.0.0/24"))
+        state, _ = run_to_convergence(instance)
+        table = instance.routing_table()
+        for node in network.topology.nodes:
+            if node == "r0":
+                continue
+            assert state.best(node).igp_cost == table.distances[node]

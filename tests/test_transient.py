@@ -1,0 +1,180 @@
+"""Tests for the transient-state analysis extension (repro.transient)."""
+
+import pytest
+
+from repro.config import ebgp_rfc7938
+from repro.pec.classes import compute_pecs
+from repro.protocols.base import EPSILON, Path, Route
+from repro.topology import bgp_fat_tree
+from repro.transient import (
+    AlwaysReaches,
+    TransientAnalyzer,
+    TransientBlackHoleFreedom,
+    TransientForwarding,
+    TransientLoopFreedom,
+    analyze_pec_transients,
+)
+
+from tests.test_rpvp_spvp import bad_gadget, disagree_gadget, good_gadget
+
+
+# --------------------------------------------------------------------------- forwarding relation
+class TestTransientForwarding:
+    def test_from_best_paths_identifies_origins_and_next_hops(self):
+        forwarding = TransientForwarding.from_best_paths(
+            {
+                "o": Route(path=EPSILON, origin_node="o"),
+                "a": Route(path=Path(("o",))),
+                "b": None,
+            }
+        )
+        assert forwarding.next_hop["a"] == "o"
+        assert forwarding.next_hop["b"] is None
+        assert "o" in forwarding.delivering
+
+    def test_find_cycle_detects_two_node_loop(self):
+        forwarding = TransientForwarding(
+            next_hop={"a": "b", "b": "a", "o": None}, delivering=frozenset({"o"})
+        )
+        cycle = forwarding.find_cycle()
+        assert cycle is not None
+        assert set(cycle) >= {"a", "b"}
+
+    def test_find_cycle_none_on_tree(self):
+        forwarding = TransientForwarding(
+            next_hop={"a": "o", "b": "a", "o": None}, delivering=frozenset({"o"})
+        )
+        assert forwarding.find_cycle() is None
+
+    def test_dead_ends_reports_next_hop_without_route(self):
+        forwarding = TransientForwarding(
+            next_hop={"a": "b", "b": None, "o": None}, delivering=frozenset({"o"})
+        )
+        assert forwarding.dead_ends() == ["a"]
+        # Forwarding towards a delivering node is not a dead end.
+        healthy = TransientForwarding(
+            next_hop={"a": "o", "o": None}, delivering=frozenset({"o"})
+        )
+        assert healthy.dead_ends() == []
+
+
+# --------------------------------------------------------------------------- properties
+class TestTransientProperties:
+    def test_loop_freedom_can_ignore_converged_states(self):
+        forwarding = TransientForwarding(
+            next_hop={"a": "b", "b": "a"}, delivering=frozenset()
+        )
+        assert TransientLoopFreedom().check(forwarding, converged=True) is not None
+        assert (
+            TransientLoopFreedom(ignore_converged=True).check(forwarding, converged=True)
+            is None
+        )
+
+    def test_blackhole_freedom_respects_source_filter(self):
+        forwarding = TransientForwarding(
+            next_hop={"a": "b", "b": None, "c": "b"}, delivering=frozenset()
+        )
+        assert TransientBlackHoleFreedom().check(forwarding, converged=False) is not None
+        assert (
+            TransientBlackHoleFreedom(sources=["c"]).check(forwarding, converged=False)
+            is not None
+        )
+        assert (
+            TransientBlackHoleFreedom(sources=["zz"]).check(forwarding, converged=False)
+            is None
+        )
+
+    def test_always_reaches_requires_sources(self):
+        with pytest.raises(ValueError):
+            AlwaysReaches([])
+
+
+# --------------------------------------------------------------------------- exploration
+class TestTransientAnalyzer:
+    def test_good_gadget_has_no_transient_loop(self):
+        result = TransientAnalyzer(good_gadget()).analyze([TransientLoopFreedom()])
+        assert result.holds
+        assert result.states_explored > 1
+        assert result.converged_states >= 1
+        assert not result.truncated
+
+    def test_disagree_gadget_has_a_transient_micro_loop(self):
+        result = TransientAnalyzer(disagree_gadget()).analyze(
+            [TransientLoopFreedom(ignore_converged=True)]
+        )
+        assert not result.holds
+        violation = result.violations[0]
+        assert violation.converged is False
+        assert "loop" in violation.message
+        # The witness replays the advertisement interleaving that produced it.
+        assert violation.witness
+        assert "processed" in violation.witness[0]
+        assert "event sequence" in violation.render()
+
+    def test_disagree_gadget_converged_states_are_loop_free(self):
+        # With the transient states filtered out, the same exploration agrees
+        # with Plankton's converged-only verdict.
+        analyzer = TransientAnalyzer(
+            disagree_gadget(), stop_at_first_violation=False, max_states=1500, max_depth=20
+        )
+
+        class ConvergedOnlyLoops(TransientLoopFreedom):
+            def check(self, forwarding, converged):
+                if not converged:
+                    return None
+                return super().check(forwarding, converged)
+
+        result = analyzer.analyze([ConvergedOnlyLoops()])
+        assert result.holds
+        assert result.converged_states >= 1  # DISAGREE's stable states are loop-free
+
+    def test_always_reaches_is_violated_before_convergence(self):
+        result = TransientAnalyzer(good_gadget()).analyze([AlwaysReaches(["a"])])
+        assert not result.holds  # initially a has no route at all
+
+    def test_bad_gadget_truncates_instead_of_diverging(self):
+        result = TransientAnalyzer(bad_gadget(), max_states=200, max_depth=30).analyze(
+            [TransientLoopFreedom(ignore_converged=True)]
+        )
+        # Either a transient loop is found early or the budget stops the search;
+        # in both cases the call returns.
+        assert result.states_explored <= 200
+        assert result.truncated or not result.holds or result.states_explored > 0
+
+    def test_requires_at_least_one_property(self):
+        with pytest.raises(ValueError):
+            TransientAnalyzer(good_gadget()).analyze([])
+
+    def test_statistics_and_summary(self):
+        result = TransientAnalyzer(good_gadget()).analyze([TransientLoopFreedom()])
+        text = result.summary()
+        assert "HOLDS" in text
+        assert str(result.states_explored) in text
+
+
+# --------------------------------------------------------------------------- network-level API
+class TestAnalyzePecTransients:
+    def test_bgp_fat_tree_analysis_returns_per_prefix_results(self):
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology, waypoints=(), steer_through_waypoints=False)
+        pecs = [pec for pec in compute_pecs(network) if pec.has_bgp()]
+        assert pecs
+        results = analyze_pec_transients(
+            network,
+            pecs[0],
+            [TransientLoopFreedom(ignore_converged=True)],
+            max_states=150,
+            max_depth=6,
+        )
+        assert results
+        for result in results.values():
+            assert result.states_explored > 0
+
+    def test_pec_without_bgp_yields_no_results(self):
+        from repro.config import ospf_everywhere
+        from repro.topology import fat_tree
+
+        network = ospf_everywhere(fat_tree(4))
+        pecs = compute_pecs(network)
+        results = analyze_pec_transients(network, pecs[0], [TransientLoopFreedom()])
+        assert results == {}

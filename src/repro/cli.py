@@ -47,6 +47,7 @@ from repro.config.parser import parse_config, parse_device_config
 from repro.core.options import OptimizationFlags, PlanktonOptions
 from repro.core.verifier import Plankton
 from repro.dataplane.forwarding import trace_paths
+from repro.engine import BACKEND_CHOICES
 from repro.exceptions import ReproError
 from repro.netaddr import Prefix, ip_to_int
 from repro.pec.classes import compute_pecs
@@ -174,6 +175,7 @@ def _build_options(args: argparse.Namespace) -> PlanktonOptions:
     return PlanktonOptions(
         max_failures=args.max_failures,
         cores=args.cores,
+        backend=args.backend,
         stop_at_first_violation=not args.all_violations,
         optimizations=flags,
     )
@@ -379,7 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="reachability: accept delivery on any ECMP branch instead of all branches",
     )
     verify.add_argument("--max-failures", type=int, default=0, help="link-failure budget")
-    verify.add_argument("--cores", type=int, default=1, help="worker processes for independent PECs")
+    verify.add_argument("--cores", type=int, default=1, help="worker processes for PEC tasks")
+    verify.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="execution engine backend (auto: process pool when --cores > 1)",
+    )
     verify.add_argument(
         "--all-violations",
         action="store_true",

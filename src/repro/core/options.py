@@ -82,9 +82,14 @@ class PlanktonOptions:
     max_failures: int = 0
     #: Optimization switches.
     optimizations: OptimizationFlags = field(default_factory=OptimizationFlags)
-    #: Worker processes for independent PEC runs (1 = serial).  The analyses
-    #: of independent PECs are embarrassingly parallel (paper §3.2).
+    #: Worker processes for PEC runs (1 = serial).  The analyses of
+    #: independent PECs are embarrassingly parallel (paper §3.2), and the
+    #: execution engine also overlaps independent members of a dependency
+    #: schedule.
     cores: int = 1
+    #: Execution backend: ``"auto"`` (process pool when ``cores > 1``, serial
+    #: otherwise), ``"serial"``, or ``"process"``.
+    backend: str = "auto"
     #: Stop at the first policy violation (SPIN's default behaviour).
     stop_at_first_violation: bool = True
     #: Per-PEC state budget for the model checker.

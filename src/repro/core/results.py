@@ -83,6 +83,29 @@ class VerificationResult:
             self.total_unique_states += run.statistics.unique_states
             self.approximate_memory_bytes += run.statistics.approximate_memory_bytes
 
+    def merge(self, other: "VerificationResult") -> None:
+        """Fold another (partial) result into this one.
+
+        Used by the execution engine to combine per-task partial results:
+        run lists and violations are concatenated in the order given, state
+        counters are summed, and the verdict holds only if both hold.
+        Wall-clock fields are *not* summed — partials produced by concurrent
+        workers overlap in time, so the longer of the two is kept and the
+        coordinator's own clock remains authoritative.  ``pecs_analyzed``
+        and ``failure_scenarios`` are sized by the coordinator up front, so
+        the larger value wins as well.
+        """
+        self.pec_runs.extend(other.pec_runs)
+        self.violations.extend(other.violations)
+        self.holds = self.holds and other.holds
+        self.pecs_analyzed = max(self.pecs_analyzed, other.pecs_analyzed)
+        self.failure_scenarios = max(self.failure_scenarios, other.failure_scenarios)
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        self.total_states_expanded += other.total_states_expanded
+        self.total_unique_states += other.total_unique_states
+        self.total_converged_states += other.total_converged_states
+        self.approximate_memory_bytes += other.approximate_memory_bytes
+
     def first_violation(self) -> Optional[Violation]:
         """The first recorded violation, if any."""
         return self.violations[0] if self.violations else None

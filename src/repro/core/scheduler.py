@@ -1,24 +1,23 @@
-"""Dependency-aware scheduling helpers and the parallel task runner.
+"""Dependency-aware scheduling helpers.
 
 The dependency-aware scheduler (paper §3.2) orders PEC verification runs so
-that a PEC is analysed only after every PEC it depends on, and runs mutually
-independent PECs in parallel worker processes.  The SCC condensation and the
-ordering itself live in :mod:`repro.pec.dependencies`; this module provides
-the task-level machinery: the closure of needed PECs, and a process-pool map
-over independent (PEC, failure scenario) tasks.
+that a PEC is analysed only after every PEC it depends on.  The SCC
+condensation and the ordering itself live in :mod:`repro.pec.dependencies`;
+this module provides the closure of needed PECs and the restriction of the
+SCC schedule to them.
+
+The task-level machinery that used to live here (a process-pool map whose
+blanket ``except Exception`` silently fell back to serial execution and
+masked worker bugs) migrated into the execution engine: see
+:mod:`repro.engine.backends` for the backend implementations, which only
+degrade to serial on genuine pickling failures and surface everything else.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import Iterable, List, Set
 
-from repro.pec.classes import PacketEquivalenceClass
 from repro.pec.dependencies import PecDependencyGraph
-
-Task = TypeVar("Task")
-Result = TypeVar("Result")
 
 
 def dependency_closure(graph: PecDependencyGraph, roots: Iterable[int]) -> Set[int]:
@@ -45,24 +44,3 @@ def restrict_schedule(
         if members:
             schedule.append(members)
     return schedule
-
-
-def run_tasks(
-    tasks: Sequence[Task],
-    worker: Callable[[Task], Result],
-    cores: int = 1,
-) -> List[Result]:
-    """Run ``worker`` over ``tasks``, optionally across worker processes.
-
-    Each verification run is a separate process in the paper's prototype; here
-    a :class:`~concurrent.futures.ProcessPoolExecutor` plays that role.  Any
-    failure to parallelise (e.g. unpicklable closures in user policies) falls
-    back to serial execution so verification always completes.
-    """
-    if cores <= 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    try:
-        with ProcessPoolExecutor(max_workers=cores) as pool:
-            return list(pool.map(worker, tasks))
-    except Exception:
-        return [worker(task) for task in tasks]

@@ -4,36 +4,30 @@
 
 1. compute Packet Equivalence Classes from the configuration,
 2. build the PEC dependency graph and a dependency-aware schedule,
-3. for every failure scenario allowed by the environment specification,
-   explore every converged data plane of every relevant PEC with the
-   explicit-state model checker (RPVP + the §4 optimizations),
+3. expand every (PEC, failure scenario) pair into the execution engine's
+   task graph (:mod:`repro.engine`) — with explicit dependency edges when
+   PECs depend on each other — and run it on the configured backend
+   (serial, or a persistent process pool),
 4. invoke the policy callback on each converged state; report the first (or
    all) violations with an event trail.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.config.objects import NetworkConfig
 from repro.core.network_model import ConvergedOutcome, DependencyContext, PecExplorer
 from repro.core.options import PlanktonOptions
 from repro.core.results import PecRunResult, VerificationResult, Violation
-from repro.core.scheduler import dependency_closure, restrict_schedule, run_tasks
 from repro.exceptions import VerificationError
 from repro.modelcheck.trail import Trail
 from repro.pec.classes import PacketEquivalenceClass, compute_pecs
 from repro.pec.dependencies import PecDependencyGraph, build_dependency_graph
 from repro.policies.base import Policy, PolicyCheckContext
 from repro.protocols.ospf import OspfComputation
-from repro.topology.failures import (
-    FailureScenario,
-    enumerate_failure_scenarios,
-    reduced_failure_scenarios,
-)
+from repro.topology.failures import FailureScenario
 
 
 class Plankton:
@@ -54,9 +48,25 @@ class Plankton:
         self.ospf_computation = OspfComputation(network)
         self._pec_by_index = {pec.index: pec for pec in self.pecs}
 
+    def pec_by_index(self, index: int) -> PacketEquivalenceClass:
+        """The PEC with partition index ``index``."""
+        return self._pec_by_index[index]
+
     # ------------------------------------------------------------------ public API
     def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:
-        """Verify the configuration against one policy or a list of policies."""
+        """Verify the configuration against one policy or a list of policies.
+
+        All work — independent and dependent PECs alike — is expanded into
+        the execution engine's task graph and run on the backend selected by
+        :attr:`PlanktonOptions.backend` / :attr:`PlanktonOptions.cores`.
+        """
+        from repro.engine import (
+            EngineContext,
+            ResultAggregator,
+            build_task_graph,
+            select_backend,
+        )
+
         policy_list = [policies] if isinstance(policies, Policy) else list(policies)
         if not policy_list:
             raise VerificationError("at least one policy is required")
@@ -69,139 +79,25 @@ class Plankton:
             result.elapsed_seconds = time.perf_counter() - started
             return result
 
-        needed = dependency_closure(self.dependency_graph, (pec.index for pec in relevant))
-        has_dependencies = any(
-            self.dependency_graph.dependencies_of(index) & needed for index in needed
+        graph = build_task_graph(
+            self.network,
+            self.pecs,
+            self.dependency_graph,
+            policy_list,
+            self.options,
+            relevant,
         )
+        result.failure_scenarios = graph.failure_scenarios
 
-        if has_dependencies:
-            self._verify_with_dependencies(policy_list, relevant, needed, result)
-        else:
-            self._verify_independent(policy_list, relevant, result)
+        aggregator = ResultAggregator(graph, self.options, result.policy_names)
+        backend = select_backend(self.options, graph)
+        backend.execute(graph, EngineContext(plankton=self, policies=policy_list), aggregator)
+        aggregator.finalize(result)
 
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
-    # ------------------------------------------------------------------ independent PECs
-    def _verify_independent(
-        self,
-        policies: List[Policy],
-        relevant: List[PacketEquivalenceClass],
-        result: VerificationResult,
-    ) -> None:
-        """Fast path: every PEC is analysed in isolation (paper's common case)."""
-        tasks: List[Tuple[PacketEquivalenceClass, FailureScenario]] = []
-        scenario_count = 0
-        for pec in relevant:
-            scenarios = self._failure_scenarios_for(pec, policies)
-            scenario_count = max(scenario_count, len(scenarios))
-            for failure in scenarios:
-                tasks.append((pec, failure))
-        result.failure_scenarios = scenario_count
-
-        if self.options.cores > 1 and not self.options.stop_at_first_violation:
-            worker = _IndependentTaskWorker(self.network, self.options, policies)
-            runs = run_tasks(tasks, worker, cores=self.options.cores)
-            for run in runs:
-                result.record(run)
-            return
-
-        for pec, failure in tasks:
-            run, _outcomes = self._run_pec(pec, failure, policies, DependencyContext(), False)
-            result.record(run)
-            if run.violations and self.options.stop_at_first_violation:
-                return
-
-    # ------------------------------------------------------------------ dependent PECs
-    def _verify_with_dependencies(
-        self,
-        policies: List[Policy],
-        relevant: List[PacketEquivalenceClass],
-        needed: Set[int],
-        result: VerificationResult,
-    ) -> None:
-        """Dependency-aware scheduling: upstream SCCs first, their converged
-        states materialised for downstream PECs; topology changes are matched
-        across the explorations of different PECs (paper §3.2)."""
-        relevant_indices = {pec.index for pec in relevant}
-        schedule = restrict_schedule(self.dependency_graph, needed)
-        scenarios = enumerate_failure_scenarios(self.network.topology, self.options.max_failures)
-        result.failure_scenarios = len(scenarios)
-
-        for failure in scenarios:
-            outcomes_by_pec: Dict[int, List[ConvergedOutcome]] = {}
-            for scc in schedule:
-                for index in scc:
-                    pec = self._pec_by_index[index]
-                    check_policies = policies if index in relevant_indices else []
-                    has_dependents = bool(
-                        self.dependency_graph.dependents_of(index) & needed
-                    )
-                    dependency_indices = sorted(
-                        self.dependency_graph.dependencies_of(index) & needed - {index}
-                    )
-                    combos = self._dependency_combinations(dependency_indices, outcomes_by_pec)
-                    collected: List[ConvergedOutcome] = []
-                    for combo in combos:
-                        context = DependencyContext()
-                        for upstream_index, outcome in combo:
-                            context.add(self._pec_by_index[upstream_index], outcome.data_plane)
-                        run, outcomes = self._run_pec(
-                            pec, failure, check_policies, context, collect_outcomes=has_dependents
-                        )
-                        result.record(run)
-                        collected.extend(outcomes)
-                        if run.violations and self.options.stop_at_first_violation:
-                            return
-                    outcomes_by_pec[index] = collected
-
-    @staticmethod
-    def _dependency_combinations(
-        dependency_indices: Sequence[int],
-        outcomes_by_pec: Dict[int, List[ConvergedOutcome]],
-    ) -> List[List[Tuple[int, ConvergedOutcome]]]:
-        """Cross product of upstream converged outcomes (usually a single one)."""
-        pools: List[List[Tuple[int, ConvergedOutcome]]] = []
-        for index in dependency_indices:
-            outcomes = outcomes_by_pec.get(index, [])
-            if outcomes:
-                pools.append([(index, outcome) for outcome in outcomes])
-        if not pools:
-            return [[]]
-        return [list(combo) for combo in itertools.product(*pools)]
-
     # ------------------------------------------------------------------ single PEC run
-    def _failure_scenarios_for(
-        self, pec: PacketEquivalenceClass, policies: List[Policy]
-    ) -> List[FailureScenario]:
-        """Failure scenarios for an independently analysed PEC (§4.1.4, §4.3)."""
-        if self.options.max_failures <= 0:
-            return [FailureScenario()]
-        flags = self.options.optimizations
-        if not flags.failure_equivalence:
-            return enumerate_failure_scenarios(self.network.topology, self.options.max_failures)
-        colors: Dict[str, object] = {}
-        for name in self.network.topology.nodes:
-            colors[name] = (
-                tuple(sorted(str(p) for p, devs in pec.ospf_origins if name in devs)),
-                tuple(sorted(str(p) for p, devs in pec.bgp_origins if name in devs)),
-                tuple(sorted(str(p) for p, devs in pec.static_devices if name in devs)),
-            )
-        interesting: Set[str] = set()
-        for policy in policies:
-            nodes = policy.interesting_nodes(pec)
-            if nodes:
-                interesting.update(nodes)
-            sources = policy.source_nodes(pec)
-            if sources:
-                interesting.update(sources)
-        return reduced_failure_scenarios(
-            self.network.topology,
-            self.options.max_failures,
-            colors=colors,
-            interesting_nodes=sorted(interesting),
-        )
-
     def _policy_sources(
         self, pec: PacketEquivalenceClass, policies: List[Policy], has_dependents: bool
     ) -> Optional[List[str]]:
@@ -221,7 +117,7 @@ class Plankton:
             sources.update(declared)
         return sorted(sources)
 
-    def _run_pec(
+    def run_pec(
         self,
         pec: PacketEquivalenceClass,
         failure: FailureScenario,
@@ -229,7 +125,12 @@ class Plankton:
         dependency_context: DependencyContext,
         collect_outcomes: bool,
     ) -> Tuple[PecRunResult, List[ConvergedOutcome]]:
-        """Explore one PEC under one failure scenario and check the policies."""
+        """Explore one PEC under one failure scenario and check the policies.
+
+        This is the engine's unit of work (one task-graph node executes it
+        once per upstream-outcome combination); it can also be called
+        directly for one-off explorations.
+        """
         has_dependents = collect_outcomes
         sources = self._policy_sources(pec, policies, has_dependents)
         explorer = PecExplorer(
@@ -316,20 +217,8 @@ class Plankton:
         run.statistics = explorer.statistics
         return run, outcomes
 
-
-class _IndependentTaskWorker:
-    """Picklable worker used for the parallel independent-PEC path."""
-
-    def __init__(self, network: NetworkConfig, options: PlanktonOptions, policies: List[Policy]) -> None:
-        self.network = network
-        self.options = options
-        self.policies = policies
-
-    def __call__(self, task: Tuple[PacketEquivalenceClass, FailureScenario]) -> PecRunResult:
-        pec, failure = task
-        verifier = Plankton(self.network, self.options)
-        run, _outcomes = verifier._run_pec(pec, failure, self.policies, DependencyContext(), False)
-        return run
+    # Backwards-compatible alias (pre-engine internal name).
+    _run_pec = run_pec
 
 
 def verify(

@@ -1,0 +1,44 @@
+"""The parallel execution engine for PEC verification.
+
+One code path for every verification request: :func:`build_task_graph`
+expands (PEC × failure scenario) work items with explicit dependency edges
+derived from the SCC schedule, an :class:`ExecutionBackend` (serial, or a
+persistent process pool with per-process state caching and cross-worker
+early cancellation) executes the graph, and a :class:`ResultAggregator`
+streams task results into one :class:`~repro.core.results.VerificationResult`.
+
+See the package modules:
+
+* :mod:`repro.engine.graph` — task specs and the graph builder;
+* :mod:`repro.engine.backends` — the backend interface and implementations;
+* :mod:`repro.engine.worker` — per-process state cache and task execution;
+* :mod:`repro.engine.aggregator` — streaming result aggregation.
+"""
+
+from repro.engine.aggregator import ResultAggregator
+from repro.engine.backends import (
+    BACKEND_CHOICES,
+    EngineContext,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    select_backend,
+)
+from repro.engine.graph import TaskGraph, TaskResult, TaskSpec, build_task_graph
+from repro.engine.worker import execute_task, network_fingerprint
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "EngineContext",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ResultAggregator",
+    "SerialBackend",
+    "TaskGraph",
+    "TaskResult",
+    "TaskSpec",
+    "build_task_graph",
+    "execute_task",
+    "network_fingerprint",
+    "select_backend",
+]

@@ -1,0 +1,98 @@
+"""Streaming aggregation of task results into one verification verdict.
+
+The aggregator consumes :class:`~repro.engine.graph.TaskResult`s in whatever
+order a backend completes them, keeps the converged data planes that
+downstream tasks consume, and raises a stop flag as soon as a violation
+arrives while ``stop_at_first_violation`` is set — backends poll that flag to
+cancel queued tasks and signal in-flight workers.
+
+Because completion order is backend- and timing-dependent, each task's runs
+are folded into a per-task partial :class:`~repro.core.results.VerificationResult`
+and merged in **task-graph order** at :meth:`finalize` time, so serial and
+parallel backends produce identical results (same run order, same violation
+order) whenever they execute the same task set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.options import PlanktonOptions
+from repro.core.results import VerificationResult
+from repro.engine.graph import TaskGraph, TaskResult, TaskSpec
+
+
+class ResultAggregator:
+    """Collects task results and folds them into a :class:`VerificationResult`."""
+
+    def __init__(self, graph: TaskGraph, options: PlanktonOptions, policy_names: List[str]) -> None:
+        self._graph = graph
+        self._options = options
+        self._policy_names = list(policy_names)
+        self._partials: Dict[int, VerificationResult] = {}
+        self._planes_by_task: Dict[int, List] = {}
+        self._spec_by_id: Dict[int, TaskSpec] = {task.task_id: task for task in graph.tasks}
+        # Converged data planes are only needed until every dependent task has
+        # consumed them (the pre-engine path scoped them per failure scenario);
+        # count down and free so a large scenario enumeration doesn't pin
+        # every upstream data plane for the whole run.
+        self._pending_dependents: Dict[int, int] = {}
+        for task in graph.tasks:
+            for dependency_id in task.depends_on:
+                self._pending_dependents[dependency_id] = (
+                    self._pending_dependents.get(dependency_id, 0) + 1
+                )
+        self.stop_requested = False
+
+    # ------------------------------------------------------------------ intake
+    def record(self, result: TaskResult) -> None:
+        """Fold one completed task in (any order; thread-safe use is the
+        backend's responsibility — backends record from a single thread)."""
+        partial = VerificationResult(policy_names=self._policy_names)
+        for run in result.runs:
+            partial.record(run)
+        self._partials[result.task_id] = partial
+        spec = self._spec_by_id[result.task_id]
+        if spec.collect_outcomes and self._pending_dependents.get(result.task_id):
+            self._planes_by_task[result.task_id] = list(result.data_planes)
+        self._release_consumed_planes(spec)
+        if result.has_violation and self._options.stop_at_first_violation:
+            self.stop_requested = True
+
+    def upstream_planes(self, spec: TaskSpec) -> Dict[int, List]:
+        """The converged data planes ``spec`` consumes, keyed by PEC index.
+
+        Tasks whose dependencies produced no outcomes get an empty list for
+        that upstream (the combination pool skips it, matching the
+        pre-engine dependency path).
+        """
+        planes: Dict[int, List] = {}
+        for dependency_id in spec.depends_on:
+            upstream = self._spec_by_id[dependency_id]
+            planes.setdefault(upstream.pec_index, []).extend(
+                self._planes_by_task.get(dependency_id, [])
+            )
+        return planes
+
+    def _release_consumed_planes(self, spec: TaskSpec) -> None:
+        """Free upstream data planes once their last dependent has recorded."""
+        for dependency_id in spec.depends_on:
+            remaining = self._pending_dependents.get(dependency_id, 0) - 1
+            if remaining <= 0:
+                self._pending_dependents.pop(dependency_id, None)
+                self._planes_by_task.pop(dependency_id, None)
+            else:
+                self._pending_dependents[dependency_id] = remaining
+
+    # ------------------------------------------------------------------ verdict
+    def has_result(self, task_id: int) -> bool:
+        """Whether a task's result has been recorded."""
+        return task_id in self._partials
+
+    def finalize(self, result: VerificationResult) -> VerificationResult:
+        """Merge all partial results into ``result`` in task-graph order."""
+        for task in self._graph.tasks:
+            partial = self._partials.get(task.task_id)
+            if partial is not None:
+                result.merge(partial)
+        return result

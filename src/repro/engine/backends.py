@@ -1,0 +1,298 @@
+"""Execution backends: one interface, serial and process-pool implementations.
+
+A backend executes a :class:`~repro.engine.graph.TaskGraph` against a
+:class:`ResultAggregator`, honouring dependency edges and the aggregator's
+stop flag.  The serial backend walks the graph's topological order in the
+calling process; the process-pool backend keeps a pool of **persistent**
+workers (state built once per process, see :mod:`repro.engine.worker`),
+dispatches every task whose dependencies are satisfied, and broadcasts a
+cancellation event the moment the aggregator requests a stop — which is how
+``stop_at_first_violation`` composes with multiprocessing instead of forcing
+serial execution.
+
+Parallelisation is attempted strictly; only genuine *pickling* failures (an
+unpicklable user policy under a spawn start method) degrade to the serial
+backend, with a warning.  Any other worker error is a real bug and
+propagates — the pre-engine runner's blanket except-everything fallback
+masked those.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.options import PlanktonOptions
+from repro.engine.aggregator import ResultAggregator
+from repro.engine.graph import TaskGraph, TaskSpec
+from repro.engine.worker import (
+    adopt_parent_runtime,
+    clear_parent_runtime,
+    execute_task,
+    initialize_worker,
+    network_fingerprint,
+    run_task_batch_in_worker,
+)
+
+#: Backend names accepted by :attr:`PlanktonOptions.backend` and ``--backend``.
+BACKEND_CHOICES = ("auto", "serial", "process")
+
+
+@dataclass
+class EngineContext:
+    """Everything a backend needs besides the graph: the coordinator's own
+    verifier (for in-process execution and fork inheritance) and the
+    policies being checked."""
+
+    plankton: object
+    policies: List = field(default_factory=list)
+
+    @property
+    def options(self) -> PlanktonOptions:
+        return self.plankton.options
+
+
+class ExecutionBackend:
+    """Interface: run every task of ``graph``, feeding ``aggregator``."""
+
+    name = "abstract"
+
+    def execute(
+        self, graph: TaskGraph, context: EngineContext, aggregator: ResultAggregator
+    ) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution in topological (graph) order.
+
+    Reproduces the pre-engine serial verifier exactly: tasks run front to
+    back, and the first violation (under ``stop_at_first_violation``) stops
+    the walk immediately.
+    """
+
+    name = "serial"
+
+    def execute(
+        self, graph: TaskGraph, context: EngineContext, aggregator: ResultAggregator
+    ) -> None:
+        self.execute_remaining(graph, context, aggregator, skip=set())
+
+    def execute_remaining(
+        self,
+        graph: TaskGraph,
+        context: EngineContext,
+        aggregator: ResultAggregator,
+        skip: Set[int],
+    ) -> None:
+        """Run every task not in ``skip`` (the process backend's fallback
+        entry point after a partial parallel run)."""
+        for spec in graph.tasks:
+            if aggregator.stop_requested:
+                return
+            if spec.task_id in skip:
+                continue
+            result = execute_task(
+                context.plankton,
+                context.policies,
+                spec,
+                aggregator.upstream_planes(spec),
+                should_cancel=lambda: aggregator.stop_requested,
+            )
+            aggregator.record(result)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Persistent-pool execution with streaming aggregation.
+
+    Workers initialise the network model, PECs and OSPF computation once per
+    process (inherited for free under ``fork``); tasks carry only a PEC
+    index, a failure scenario and upstream data planes.  Ready tasks are
+    dispatched as soon as their dependencies complete, so independent SCC
+    members of a dependency schedule overlap across workers.
+    """
+
+    name = "process"
+
+    def __init__(self, cores: int) -> None:
+        self.cores = max(1, cores)
+
+    # ------------------------------------------------------------------ entry
+    def execute(
+        self, graph: TaskGraph, context: EngineContext, aggregator: ResultAggregator
+    ) -> None:
+        mp_context = self._mp_context()
+        use_fork = mp_context.get_start_method() == "fork"
+        if not use_fork and not self._initargs_picklable(context):
+            warnings.warn(
+                "engine: policies or network are not picklable under the "
+                f"'{mp_context.get_start_method()}' start method; falling back "
+                "to the serial backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            SerialBackend().execute(graph, context, aggregator)
+            return
+        try:
+            self._execute_pool(graph, context, aggregator, mp_context, use_fork)
+        except pickle.PicklingError as exc:
+            # A task payload or result refused to pickle: degrade gracefully,
+            # but say so — and let every other exception propagate.
+            warnings.warn(
+                f"engine: parallel execution failed to pickle ({exc}); "
+                "completing remaining tasks on the serial backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            done = {
+                task.task_id for task in graph.tasks if aggregator.has_result(task.task_id)
+            }
+            SerialBackend().execute_remaining(graph, context, aggregator, skip=done)
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    @staticmethod
+    def _initargs_picklable(context: EngineContext) -> bool:
+        try:
+            pickle.dumps((context.plankton.network, context.options, context.policies))
+            return True
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------ pool run
+    def _execute_pool(
+        self,
+        graph: TaskGraph,
+        context: EngineContext,
+        aggregator: ResultAggregator,
+        mp_context,
+        use_fork: bool,
+    ) -> None:
+        cancel_event = mp_context.Event()
+        if use_fork:
+            # Workers adopt the parent's live verifier through the fork image;
+            # nothing is pickled, so an identity-based key (stable for the
+            # life of this pool, which is the life of the cache) avoids a
+            # full pickle pass over the network just to name the cache entry.
+            fingerprint = f"fork:{id(context.plankton):x}"
+            adopt_parent_runtime(fingerprint, context.plankton, context.policies)
+            initargs = (fingerprint, cancel_event, None, None, None)
+        else:  # pragma: no cover - exercised only on non-fork platforms
+            fingerprint = network_fingerprint(
+                context.plankton.network, context.options, context.policies
+            )
+            initargs = (
+                fingerprint,
+                cancel_event,
+                context.plankton.network,
+                context.options,
+                context.policies,
+            )
+
+        workers = max(1, min(self.cores, len(graph.tasks)))
+        remaining_deps: Dict[int, Set[int]] = {
+            task.task_id: set(task.depends_on) for task in graph.tasks
+        }
+        dependents = graph.dependents()
+        spec_by_id: Dict[int, TaskSpec] = {task.task_id: task for task in graph.tasks}
+        ready: List[int] = sorted(
+            task_id for task_id, deps in remaining_deps.items() if not deps
+        )
+        futures: Set[object] = set()
+
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=initialize_worker,
+            initargs=initargs,
+        )
+        try:
+
+            def submit_ready() -> None:
+                """Dispatch every ready task, chunked so each worker gets a
+                few futures' worth of work per round trip (one future per
+                task would drown scaled-down instances in IPC)."""
+                if not ready:
+                    return
+                batch = sorted(ready)
+                ready.clear()
+                chunk_size = max(1, -(-len(batch) // (workers * 4)))
+                for start in range(0, len(batch), chunk_size):
+                    chunk = [spec_by_id[tid] for tid in batch[start : start + chunk_size]]
+                    upstream = {
+                        spec.task_id: aggregator.upstream_planes(spec)
+                        for spec in chunk
+                        if spec.depends_on
+                    }
+                    futures.add(
+                        pool.submit(run_task_batch_in_worker, fingerprint, chunk, upstream)
+                    )
+
+            submit_ready()
+            while futures:
+                done, _pending = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    futures.discard(future)
+                    for result in future.result():  # raises genuine worker errors
+                        if result.cancelled:
+                            continue
+                        aggregator.record(result)
+                        for dependent_id in dependents.get(result.task_id, ()):
+                            deps = remaining_deps[dependent_id]
+                            deps.discard(result.task_id)
+                            if not deps and not aggregator.stop_requested:
+                                ready.append(dependent_id)
+                if aggregator.stop_requested:
+                    cancel_event.set()
+                    for future in list(futures):
+                        future.cancel()
+                    # Drain whatever is genuinely running; workers observe the
+                    # event between tasks and outcome combinations and return
+                    # early.  A verdict already exists, so errors from this
+                    # abandoned work become warnings rather than raising.
+                    for future in list(futures):
+                        if future.cancelled():
+                            continue
+                        try:
+                            for result in future.result():
+                                if not result.cancelled:
+                                    aggregator.record(result)
+                        except Exception as exc:  # pragma: no cover - rare race
+                            warnings.warn(
+                                f"engine: in-flight task failed during early stop: {exc}",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                    futures.clear()
+                    break
+                submit_ready()
+        finally:
+            clear_parent_runtime()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------- selection
+def select_backend(options: PlanktonOptions, graph: TaskGraph) -> ExecutionBackend:
+    """Pick the backend named by the options ('auto' resolves by core count)."""
+    name = getattr(options, "backend", "auto") or "auto"
+    if name not in BACKEND_CHOICES:
+        raise ValueError(f"unknown execution backend {name!r}; choose from {BACKEND_CHOICES}")
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        # An explicit "process" request is honoured even at cores=1 (a pool
+        # of one worker — useful for exercising the parallel path).
+        return ProcessPoolBackend(cores=options.cores)
+    if options.cores > 1 and len(graph) > 1:
+        return ProcessPoolBackend(cores=options.cores)
+    return SerialBackend()

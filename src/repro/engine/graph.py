@@ -1,0 +1,256 @@
+"""Task-graph construction for the parallel execution engine.
+
+The unit of work in the engine is one *(PEC, failure scenario)* pair — the
+same unit the paper hands to one SPIN process.  This module expands a
+verification request into a :class:`TaskGraph`:
+
+* for a network **without** cross-PEC dependencies every task is a free
+  node (the paper's embarrassingly-parallel common case, §3.2), and the
+  failure scenarios are reduced per PEC with the §4.3 Link Equivalence
+  Class reduction;
+* for a network **with** dependencies the SCC schedule of
+  :class:`~repro.pec.dependencies.PecDependencyGraph` is unrolled per
+  failure scenario into explicit dependency edges, so that mutually
+  independent SCC members still run concurrently while every task starts
+  only after the tasks whose converged data planes it consumes.
+
+Edges always point from a task to tasks created *earlier* in the graph
+order, so the construction order is a valid topological order — the serial
+backend simply walks ``graph.tasks`` front to back and reproduces the
+pre-engine verifier's execution order exactly (including the handling of
+cyclic SCCs, whose members consume only the outcomes of members scheduled
+before them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.options import PlanktonOptions
+from repro.core.scheduler import dependency_closure, restrict_schedule
+from repro.pec.classes import PacketEquivalenceClass
+from repro.pec.dependencies import PecDependencyGraph
+from repro.policies.base import Policy
+from repro.topology.failures import (
+    FailureScenario,
+    enumerate_failure_scenarios,
+    reduced_failure_scenarios,
+)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work: explore one PEC under one failure.
+
+    Attributes:
+        task_id: Position of the task in the graph (also its topological
+            rank: every dependency has a smaller id).
+        pec_index: The PEC to explore (resolved against the worker's own
+            PEC partition, so only the index crosses process boundaries).
+        failure: The failure scenario to apply.
+        check_policies: Whether the policies apply to this PEC.  Tasks run
+            with ``check_policies=False`` only to materialise converged
+            data planes for their dependents.
+        collect_outcomes: Whether downstream tasks consume this task's
+            converged data planes.
+        depends_on: Ids of the tasks whose converged data planes this task
+            needs (always smaller than ``task_id``).
+    """
+
+    task_id: int
+    pec_index: int
+    failure: FailureScenario
+    check_policies: bool = True
+    collect_outcomes: bool = False
+    depends_on: Tuple[int, ...] = ()
+
+
+@dataclass
+class TaskResult:
+    """What one executed task sends back to the aggregator.
+
+    ``runs`` holds one :class:`~repro.core.results.PecRunResult` per
+    explored upstream-outcome combination (usually exactly one).
+    ``data_planes`` carries the converged data planes when the task's spec
+    asked for them (``collect_outcomes``); only the data planes travel
+    across process boundaries — the RPVP event steps stay worker-local.
+    """
+
+    task_id: int
+    runs: List = field(default_factory=list)
+    data_planes: List = field(default_factory=list)
+    cancelled: bool = False
+
+    @property
+    def has_violation(self) -> bool:
+        return any(run.violations for run in self.runs)
+
+
+@dataclass
+class TaskGraph:
+    """The expanded work items of one verification request."""
+
+    tasks: List[TaskSpec] = field(default_factory=list)
+    #: Value for :attr:`VerificationResult.failure_scenarios` (max per-PEC
+    #: scenario count in the independent case, total enumeration otherwise —
+    #: matching the pre-engine verifier's reporting).
+    failure_scenarios: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def has_edges(self) -> bool:
+        return any(task.depends_on for task in self.tasks)
+
+    def dependents(self) -> Dict[int, List[int]]:
+        """Reverse adjacency: task id -> ids of tasks that depend on it."""
+        reverse: Dict[int, List[int]] = {task.task_id: [] for task in self.tasks}
+        for task in self.tasks:
+            for dependency in task.depends_on:
+                reverse[dependency].append(task.task_id)
+        return reverse
+
+    def validate(self) -> None:
+        """Check the topological-order invariant (used by tests)."""
+        for task in self.tasks:
+            for dependency in task.depends_on:
+                if dependency >= task.task_id:
+                    raise ValueError(
+                        f"task {task.task_id} depends on non-earlier task {dependency}"
+                    )
+
+
+# --------------------------------------------------------------------------- scenarios
+def failure_scenarios_for_pec(
+    network,
+    pec: PacketEquivalenceClass,
+    policies: Sequence[Policy],
+    options: PlanktonOptions,
+) -> List[FailureScenario]:
+    """Failure scenarios for an independently analysed PEC (§4.1.4, §4.3)."""
+    if options.max_failures <= 0:
+        return [FailureScenario()]
+    if not options.optimizations.failure_equivalence:
+        return enumerate_failure_scenarios(network.topology, options.max_failures)
+    colors: Dict[str, object] = {}
+    for name in network.topology.nodes:
+        colors[name] = (
+            tuple(sorted(str(p) for p, devs in pec.ospf_origins if name in devs)),
+            tuple(sorted(str(p) for p, devs in pec.bgp_origins if name in devs)),
+            tuple(sorted(str(p) for p, devs in pec.static_devices if name in devs)),
+        )
+    interesting: Set[str] = set()
+    for policy in policies:
+        nodes = policy.interesting_nodes(pec)
+        if nodes:
+            interesting.update(nodes)
+        sources = policy.source_nodes(pec)
+        if sources:
+            interesting.update(sources)
+    return reduced_failure_scenarios(
+        network.topology,
+        options.max_failures,
+        colors=colors,
+        interesting_nodes=sorted(interesting),
+    )
+
+
+# --------------------------------------------------------------------------- builder
+def build_task_graph(
+    network,
+    pecs: Sequence[PacketEquivalenceClass],
+    dependency_graph: PecDependencyGraph,
+    policies: Sequence[Policy],
+    options: PlanktonOptions,
+    relevant: Sequence[PacketEquivalenceClass],
+) -> TaskGraph:
+    """Expand a verification request into the task graph.
+
+    ``relevant`` are the PECs at least one policy applies to; the closure
+    of their dependencies decides between the edge-free independent
+    expansion and the dependency-aware unrolling of the SCC schedule.
+    """
+    graph = TaskGraph()
+    if not relevant:
+        return graph
+
+    needed = dependency_closure(dependency_graph, (pec.index for pec in relevant))
+    has_dependencies = any(
+        dependency_graph.dependencies_of(index) & needed for index in needed
+    )
+
+    if not has_dependencies:
+        _expand_independent(graph, network, policies, options, relevant)
+    else:
+        _expand_dependent(
+            graph, network, pecs, dependency_graph, policies, options, relevant, needed
+        )
+    return graph
+
+
+def _expand_independent(
+    graph: TaskGraph,
+    network,
+    policies: Sequence[Policy],
+    options: PlanktonOptions,
+    relevant: Sequence[PacketEquivalenceClass],
+) -> None:
+    """Edge-free expansion: every (PEC, failure) pair is a free task."""
+    scenario_count = 0
+    for pec in relevant:
+        scenarios = failure_scenarios_for_pec(network, pec, policies, options)
+        scenario_count = max(scenario_count, len(scenarios))
+        for failure in scenarios:
+            graph.tasks.append(
+                TaskSpec(task_id=len(graph.tasks), pec_index=pec.index, failure=failure)
+            )
+    graph.failure_scenarios = scenario_count
+
+
+def _expand_dependent(
+    graph: TaskGraph,
+    network,
+    pecs: Sequence[PacketEquivalenceClass],
+    dependency_graph: PecDependencyGraph,
+    policies: Sequence[Policy],
+    options: PlanktonOptions,
+    relevant: Sequence[PacketEquivalenceClass],
+    needed: Set[int],
+) -> None:
+    """Unroll the SCC schedule per failure scenario into dependency edges.
+
+    Failure scenarios are enumerated once for the whole network so topology
+    changes are matched across the explorations of different PECs (§3.2).
+    Within a cyclic SCC, members consume only the outcomes of members
+    scheduled before them — the same fixpoint-free approximation as the
+    pre-engine dependency-aware path.
+    """
+    relevant_indices = {pec.index for pec in relevant}
+    schedule = restrict_schedule(dependency_graph, needed)
+    scenarios = enumerate_failure_scenarios(network.topology, options.max_failures)
+    graph.failure_scenarios = len(scenarios)
+
+    for failure in scenarios:
+        created: Dict[int, int] = {}  # pec index -> task id, this failure only
+        for scc in schedule:
+            for index in scc:
+                dependency_indices = sorted(
+                    dependency_graph.dependencies_of(index) & needed - {index}
+                )
+                depends_on = tuple(
+                    created[dep] for dep in dependency_indices if dep in created
+                )
+                task = TaskSpec(
+                    task_id=len(graph.tasks),
+                    pec_index=index,
+                    failure=failure,
+                    check_policies=index in relevant_indices,
+                    collect_outcomes=bool(
+                        dependency_graph.dependents_of(index) & needed
+                    ),
+                    depends_on=depends_on,
+                )
+                graph.tasks.append(task)
+                created[index] = task.task_id

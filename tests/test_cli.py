@@ -62,6 +62,32 @@ class TestVerifyCommand:
         assert code == EXIT_HOLDS
         assert "HOLDS" in out
 
+    def test_backend_and_cores_flags(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "reachability", "--sources", "r2,r3",
+            "--cores", "2", "--backend", "process",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "HOLDS" in out
+
+    def test_serial_backend_flag(self, workspace, capsys):
+        code = _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "reachability", "--sources", "r2,r3",
+            "--cores", "4", "--backend", "serial",
+        ])
+        assert code == EXIT_HOLDS
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, workspace, capsys):
+        with pytest.raises(SystemExit):
+            _run([
+                "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+                "--policy", "reachability", "--backend", "quantum",
+            ])
+
     def test_loop_violation_detected(self, workspace, capsys):
         code = _run([
             "verify", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",

@@ -143,7 +143,9 @@ class Explorer(Generic[State]):
         stats.transitions += len(root_successors)
 
         if not root_successors:
-            self._handle_terminal(initial_state, [], stats, seen_terminals, outcome, collect_converged)
+            self._handle_terminal(
+                initial_state, root_key, [], stats, seen_terminals, outcome, collect_converged
+            )
 
         while stack:
             if stats.states_expanded >= options.max_states:
@@ -172,7 +174,7 @@ class Explorer(Generic[State]):
             stats.transitions += len(next_successors)
             if not next_successors:
                 violation_found = self._handle_terminal(
-                    next_state, next_labels, stats, seen_terminals, outcome, collect_converged
+                    next_state, key, next_labels, stats, seen_terminals, outcome, collect_converged
                 )
                 if violation_found and options.stop_at_first_violation:
                     break
@@ -192,15 +194,16 @@ class Explorer(Generic[State]):
     def _handle_terminal(
         self,
         state: State,
+        key: Hashable,
         labels: List[object],
         stats: ExplorationStatistics,
         seen_terminals: set,
         outcome: SearchOutcome[State],
         collect_converged: bool,
     ) -> bool:
-        """Process a converged state; returns True when a violation was recorded."""
+        """Process a converged state (``key`` is its already-computed
+        fingerprint); returns True when a violation was recorded."""
         stats.terminal_states += 1
-        key = self._fingerprint(state)
         if self.options.dedupe_terminal_states:
             if key in seen_terminals:
                 return False

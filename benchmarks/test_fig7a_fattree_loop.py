@@ -9,6 +9,10 @@ construction, Plankton vs the SAT-based Minesweeper-like baseline (run on the
 smallest size only for the fail variant — it already shows the scaling gap).
 """
 
+import json
+import os
+import time
+
 import pytest
 
 from repro import Plankton, PlanktonOptions
@@ -19,6 +23,8 @@ from repro.policies import LoopFreedom
 from repro.topology import fat_tree
 
 ARITIES = [4, 6, 8]
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_explorer.json")
 
 
 def _network(k, induce_loop):
@@ -61,6 +67,61 @@ def test_minesweeper_loop_check_smallest(benchmark, reporter, variant):
         f"verdict={'pass' if result.holds else 'fail'}",
     )
     assert result.holds == (variant == "pass")
+
+
+def _explorer_bench_row(k, variant):
+    """Run the fig7a workload through the explicit-state explorer (serial).
+
+    ``fast_ospf=False`` forces every PEC through the model checker — the
+    same states the paper's prototype explores — so the row measures raw
+    explorer throughput rather than the cached-SPF shortcut.
+    """
+    network = _network(k, induce_loop=variant == "fail")
+    options = PlanktonOptions(
+        fast_ospf=False, stop_at_first_violation=False, backend="serial"
+    )
+    started = time.perf_counter()
+    result = Plankton(network, options).verify(LoopFreedom())
+    elapsed = time.perf_counter() - started
+    stats = [run.statistics for run in result.pec_runs if run.statistics is not None]
+    return {
+        "workload": f"fat-tree k={k} ({len(network.topology)} devices), loop policy, {variant}",
+        "backend": "serial",
+        "holds": result.holds,
+        "states_expanded": result.total_states_expanded,
+        "unique_states": result.total_unique_states,
+        "unique_terminal_states": sum(s.unique_terminal_states for s in stats),
+        "violations": len(result.violations),
+        "elapsed_seconds": round(elapsed, 4),
+        "states_per_second": round(result.total_states_expanded / max(elapsed, 1e-9), 1),
+        "peak_approximate_memory_bytes": max(
+            (s.approximate_memory_bytes for s in stats), default=0
+        ),
+        "total_approximate_memory_bytes": result.approximate_memory_bytes,
+    }
+
+
+def test_bench_explorer_json(reporter):
+    """Emit BENCH_explorer.json so explorer throughput is tracked PR-over-PR."""
+    rows = {
+        "fig7a_k6_pass": _explorer_bench_row(6, "pass"),
+        "fig7a_k4_fail": _explorer_bench_row(4, "fail"),
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, row in rows.items():
+        reporter(
+            "bench",
+            f"{name}: {row['states_per_second']:.0f} states/s "
+            f"({row['states_expanded']} expanded, {row['unique_states']} unique, "
+            f"{row['violations']} violation(s), "
+            f"mem~{row['peak_approximate_memory_bytes'] // 1024}KiB peak)",
+        )
+    assert rows["fig7a_k6_pass"]["holds"]
+    assert not rows["fig7a_k4_fail"]["holds"]
+    # The explorer dedupes states exactly: every expansion is a unique state.
+    assert rows["fig7a_k6_pass"]["unique_states"] == rows["fig7a_k6_pass"]["states_expanded"]
 
 
 def test_speedup_summary(reporter):

@@ -73,27 +73,60 @@ class BonsaiCompressor:
     def __init__(self, network: NetworkConfig) -> None:
         self.network = network
 
-    def _origin_colors(self) -> Dict[str, object]:
-        """Initial colours: the set of prefixes each device originates."""
+    def _relevant(self, prefix: Prefix, for_prefix: Optional[Prefix]) -> bool:
+        """Whether an originated ``prefix`` matters for a sliced compression."""
+        if for_prefix is None:
+            return True
+        return prefix.to_range().overlaps(for_prefix.to_range())
+
+    def _origin_colors(self, for_prefix: Optional[Prefix] = None) -> Dict[str, object]:
+        """Initial colours: the set of prefixes each device originates.
+
+        With ``for_prefix`` given, only origination relevant to that
+        destination is distinguished — Bonsai computes one abstraction per
+        destination class, under which the (many) devices originating other,
+        unrelated prefixes become interchangeable.
+        """
         colors: Dict[str, object] = {}
         for name, config in self.network.devices.items():
-            ospf_networks = tuple(sorted(map(str, config.ospf.networks))) if config.ospf else ()
-            bgp_networks = tuple(sorted(map(str, config.bgp.networks))) if config.bgp else ()
+            ospf_networks = (
+                tuple(sorted(str(p) for p in config.ospf.networks if self._relevant(p, for_prefix)))
+                if config.ospf
+                else ()
+            )
+            bgp_networks = (
+                tuple(sorted(str(p) for p in config.bgp.networks if self._relevant(p, for_prefix)))
+                if config.bgp
+                else ()
+            )
             statics = tuple(
-                sorted(f"{r.prefix}->{r.next_hop_node or r.next_hop_ip}" for r in config.static_routes)
+                sorted(
+                    f"{r.prefix}->{r.next_hop_node or r.next_hop_ip}"
+                    for r in config.static_routes
+                    if self._relevant(r.prefix, for_prefix)
+                )
             )
             colors[name] = (ospf_networks, bgp_networks, statics, config.ospf is not None)
         return colors
 
-    def compress(self, keep_distinct: Sequence[str] = ()) -> CompressedNetwork:
+    def compress(
+        self,
+        keep_distinct: Sequence[str] = (),
+        for_prefix: Optional[Prefix] = None,
+    ) -> CompressedNetwork:
         """Build the abstract network.
 
         ``keep_distinct`` lists concrete devices that must stay in singleton
         classes (policy sources, waypoints), mirroring how the verification
-        task constrains what Bonsai may merge.
+        task constrains what Bonsai may merge.  ``for_prefix`` requests a
+        destination-sliced abstraction: devices are distinguished only by
+        behaviour relevant to that destination prefix, which is where
+        Bonsai's compression on symmetric topologies actually comes from —
+        without it every edge switch sits in a singleton class because it
+        originates its own subnet.
         """
         started = time.perf_counter()
-        colors = self._origin_colors()
+        colors = self._origin_colors(for_prefix)
         for index, name in enumerate(keep_distinct):
             colors[name] = (colors.get(name), "pinned", index)
         equivalence = DeviceEquivalence(self.network.topology, colors)
@@ -129,12 +162,20 @@ class BonsaiCompressor:
             representative_cfg = self.network.device(concrete_members[0])
             abstract_cfg = DeviceConfig(name=name)
             if representative_cfg.ospf is not None:
+                # In a destination-sliced abstraction the representative's
+                # irrelevant origins (its own subnets, say) are dropped: all
+                # class members agree on the relevant set by construction.
                 abstract_cfg.ospf = OspfConfig(
-                    networks=list(representative_cfg.ospf.networks),
+                    networks=[
+                        p for p in representative_cfg.ospf.networks
+                        if self._relevant(p, for_prefix)
+                    ],
                     redistribute_static=representative_cfg.ospf.redistribute_static,
                 )
             abstract_cfg.static_routes = []
             for route in representative_cfg.static_routes:
+                if not self._relevant(route.prefix, for_prefix):
+                    continue
                 if route.next_hop_node is not None:
                     abstract_next_hop = abstraction.get(route.next_hop_node)
                     if abstract_next_hop is None:

@@ -222,8 +222,7 @@ class BgpDeterminism:
         path, contradicting consistency).  A tie is fine — on ties a node
         keeps its current path.
         """
-        for node in self.instance.nodes():
-            route = state.best(node)
+        for node, route in state.items():
             if route is None:
                 continue
             future = self._best_future_rank(node, state)
@@ -289,7 +288,7 @@ def independence_groups(
     enabled nodes in different components are independent, so exploring them
     in a single fixed order (component by component) is sufficient.
     """
-    undecided = {node for node in instance.nodes() if state.best(node) is None}
+    undecided = {node for node, route in state.items() if route is None}
     component_of: Dict[str, int] = {}
     current = 0
     for start in sorted(undecided):

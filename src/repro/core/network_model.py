@@ -28,6 +28,8 @@ from repro.core.determinism import (
     independence_groups,
 )
 from repro.core.options import OptimizationFlags, PlanktonOptions
+from repro.core.successors import CandidateEngine
+from repro.modelcheck.hashing import ZobristFingerprinter
 from repro.pec.classes import PacketEquivalenceClass
 from repro.protocols.base import EPSILON, PathVectorInstance, Route, RouteSource
 from repro.protocols.bgp import BgpInstance
@@ -36,12 +38,9 @@ from repro.protocols.ospf_instance import OspfInstance
 from repro.protocols.rpvp import (
     RpvpState,
     RpvpTransition,
-    best_updates,
     enabled_nodes,
     initial_state,
-    is_invalid,
     rpvp_successors,
-    step_node,
     updating_peers,
 )
 from repro.protocols.static import resolve_static_routes
@@ -275,12 +274,17 @@ class PecExplorer:
 
         instance = self.bgp_instance(prefix)
         analyzer = BgpDeterminism(instance)
+        engine = self._candidate_engine(instance)
         successors = self._optimized_successors(
-            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes
+            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes, engine=engine
         )
 
         def check_terminal(state: RpvpState, labels: List[object]) -> Optional[str]:
-            if not self._accept_terminal(instance, state, analyzer):
+            accepted = self._accept_terminal(instance, state, analyzer, engine=engine)
+            # Terminal states may outlive the search inside outcomes; drop the
+            # DFS ancestor chain and search caches they would otherwise pin.
+            state.detach()
+            if not accepted:
                 return None
             data_plane, control_plane = self.build_data_plane({prefix: state})
             outcome = ConvergedOutcome(
@@ -353,21 +357,32 @@ class PecExplorer:
         )
 
     def _make_canonicalizer(self, explorer_holder: List[Explorer]) -> Callable[[RpvpState], Hashable]:
-        """State-hashing canonicalizer: states become tuples of interned entry ids."""
+        """State-hashing canonicalizer: incremental Zobrist fingerprints.
+
+        States intern their per-node entries through the explorer's interner
+        (the §4.4 state hashing), but the visited-set key is a 64-bit Zobrist
+        fingerprint a child state derives from its parent's in O(1) — only
+        the transitioned node's old and new entry are (re)interned, instead
+        of all n entries per state.
+        """
         if not self.flags.state_hashing:
             return lambda state: state
+        fingerprinter = ZobristFingerprinter(explorer_holder[0].interner)
+        return lambda state: state.fingerprint(fingerprinter)
 
-        def canonicalize(state: RpvpState) -> Hashable:
-            interner = explorer_holder[0].interner
-            return tuple(interner.intern(route) for _node, route in state.assignments)
-
-        return canonicalize
+    def _candidate_engine(self, instance: PathVectorInstance) -> Optional[CandidateEngine]:
+        """The incremental candidate engine for one instance (None when the
+        unoptimized semantics are in effect)."""
+        if not self.flags.consistent_execution:
+            return None
+        return CandidateEngine(instance)
 
     def _explore_instance(
         self,
         instance: PathVectorInstance,
         successors: Callable[[RpvpState], List[Tuple[object, RpvpState]]],
         stability: Optional[BgpDeterminism] = None,
+        engine: Optional[CandidateEngine] = None,
     ) -> PrefixExplorationResult:
         holder: List[Explorer] = []
         explorer = Explorer(
@@ -383,13 +398,18 @@ class PecExplorer:
         states: List[RpvpState] = []
         labels: List[List[object]] = []
         for state, path in zip(outcome.converged_states, outcome.converged_paths):
-            if self._accept_terminal(instance, state, stability):
+            accepted = self._accept_terminal(instance, state, stability, engine=engine)
+            # Collected states outlive the search; drop the DFS ancestor
+            # chain and search caches they would otherwise pin (after the
+            # acceptance check, which reuses the cached candidate sets).
+            state.detach()
+            if accepted:
                 states.append(state)
                 labels.append(path)
         if not states and not outcome.converged_states:
             # Defensive: the initial state itself may already be converged.
-            if self._accept_terminal(instance, start, stability):
-                states.append(start)
+            if self._accept_terminal(instance, start, stability, engine=engine):
+                states.append(start.detach())
                 labels.append([])
         return PrefixExplorationResult(
             prefix=Prefix("0.0.0.0/0") if not hasattr(instance, "prefix") else instance.prefix,  # type: ignore[attr-defined]
@@ -403,9 +423,28 @@ class PecExplorer:
         instance: PathVectorInstance,
         state: RpvpState,
         stability: Optional[BgpDeterminism] = None,
+        engine: Optional[CandidateEngine] = None,
     ) -> bool:
         """Keep only terminals that are genuine (or policy-sufficient) converged states."""
         if self.flags.consistent_execution:
+            if engine is not None:
+                # The exploration already computed (or can compute in O(deg))
+                # this state's candidate sets; reuse them instead of
+                # re-evaluating every (node, peer) advertisement.
+                cache = engine.candidates(state)
+                if cache.decided_pending:
+                    return False
+                if (
+                    self.flags.policy_based_pruning
+                    and self._sources_decided(instance, state)
+                    and (stability is None or stability.decisions_are_stable(state))
+                ):
+                    return True
+                if cache.updates:
+                    return False
+                if stability is not None and not stability.decisions_are_stable(state):
+                    return False
+                return True
             # A decided node with an improving update from a decided peer means
             # this execution is not consistent with any converged state.
             for node in instance.nodes():
@@ -442,20 +481,22 @@ class PecExplorer:
         # optimization off it provides the stability check that keeps
         # policy-based pruning sound (see ``_optimized_successors``).
         analyzer = BgpDeterminism(instance)
+        engine = self._candidate_engine(instance)
         successors = self._optimized_successors(
-            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes
+            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes, engine=engine
         )
-        result = self._explore_instance(instance, successors, stability=analyzer)
+        result = self._explore_instance(instance, successors, stability=analyzer, engine=engine)
         result.prefix = prefix
         return result
 
     def _explore_ospf_prefix(self, prefix: Prefix) -> PrefixExplorationResult:
         instance = self.ospf_instance(prefix)
         analyzer = OspfDeterminism(instance) if self.flags.deterministic_nodes else None
+        engine = self._candidate_engine(instance)
         successors = self._optimized_successors(
-            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes
+            instance, analyzer, use_for_determinism=self.flags.deterministic_nodes, engine=engine
         )
-        result = self._explore_instance(instance, successors)
+        result = self._explore_instance(instance, successors, engine=engine)
         result.prefix = prefix
         return result
 
@@ -465,20 +506,27 @@ class PecExplorer:
         instance: PathVectorInstance,
         analyzer,
         use_for_determinism: bool = True,
+        engine: Optional[CandidateEngine] = None,
     ) -> Callable[[RpvpState], List[Tuple[object, RpvpState]]]:
         flags = self.flags
         sources = self.policy_sources
+        if flags.consistent_execution and engine is None:
+            engine = CandidateEngine(instance)
 
         def successors(state: RpvpState) -> List[Tuple[object, RpvpState]]:
             if not flags.consistent_execution:
                 return rpvp_successors(instance, state)
 
+            # The candidate sets are maintained incrementally: a state derived
+            # from its parent by one node's decision re-evaluates only that
+            # node and its peers (see repro.core.successors).
+            cache = engine.candidates(state)
+
             # Consistent executions only: a node that has selected a path never
             # changes it, so if any decided node could still be improved the
             # execution cannot lead to a converged state — abandon it.
-            for node in instance.nodes():
-                if state.best(node) is not None and updating_peers(instance, state, node):
-                    return []
+            if cache.decided_pending:
+                return []
 
             # Policy-based pruning: once every source node has decided, the
             # forwarding the policy inspects is fixed (consistent executions
@@ -495,13 +543,7 @@ class PecExplorer:
             ):
                 return []
 
-            candidates_of: Dict[str, List[Tuple[str, Route]]] = {}
-            for node in instance.nodes():
-                if state.best(node) is not None:
-                    continue
-                updating = updating_peers(instance, state, node)
-                if updating:
-                    candidates_of[node] = best_updates(instance, node, updating)
+            candidates_of = cache.updates
             if not candidates_of:
                 return []
 
@@ -615,7 +657,7 @@ class PecExplorer:
             )
         if state is None:
             return
-        for node, route in state.assignments:
+        for node, route in state.items():
             if route is None or route.path == EPSILON:
                 if route is not None:
                     control_plane[node] = route

@@ -1,0 +1,143 @@
+"""Incremental successor-candidate maintenance for the RPVP hot path.
+
+Expanding a state means knowing, for every node, whether it could still
+improve its best path and by which peer updates.  Recomputing that from
+scratch — the paper's ``can-update`` predicate over all nodes — costs one
+import/export/rank evaluation per (node, peer) edge *per state*, which makes
+the per-state step quadratic in network size.
+
+An RPVP transition changes a single node's entry, and ``updating_peers(v)``
+depends only on ``best(v)`` and ``best(p)`` for ``p`` in ``peers(v)``.  So a
+child state's candidate sets differ from its parent's only at the
+transitioned node and its (reverse) peers.  :class:`CandidateEngine` exploits
+this: each state carries a cached :class:`CandidateSets`, and a state derived
+via ``with_best`` builds its cache as a delta off the parent's, re-evaluating
+only the affected nodes.  During a depth-first search the parent's cache is
+always present when a child is expanded (the parent was expanded first), so
+the per-state cost drops from O(E) advertisement evaluations to O(deg).
+
+The cached values are produced by exactly the same
+``updating_peers``/``best_updates`` primitives the full rescan uses, so the
+successor relation — and with it every exploration statistic — is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.protocols.base import PathVectorInstance, Route
+from repro.protocols.rpvp import RpvpState, best_updates, updating_peers
+
+
+class CandidateSets:
+    """Per-state successor-candidate summary.
+
+    Attributes:
+        decided_pending: Decided nodes that still have an improving peer —
+            in a consistent execution a non-empty set means the state can
+            never lead to a converged state (paper §4.1.1).
+        updates: For every *undecided* node with at least one improving peer,
+            its best-ranked updates (the paper's set ``U``).  Each node's
+            candidate list is exactly what a full rescan produces; the dict's
+            key insertion order is unspecified (consumers sort the keys).
+    """
+
+    __slots__ = ("decided_pending", "updates")
+
+    def __init__(
+        self,
+        decided_pending: FrozenSet[str],
+        updates: Dict[str, List[Tuple[str, Route]]],
+    ) -> None:
+        self.decided_pending = decided_pending
+        self.updates = updates
+
+
+class CandidateEngine:
+    """Computes and incrementally maintains :class:`CandidateSets`.
+
+    One engine serves one protocol instance (one prefix under one failure
+    scenario); caches are stamped with the engine identity so a state object
+    can never be served a cache computed against a different instance.
+    """
+
+    def __init__(self, instance: PathVectorInstance) -> None:
+        self.instance = instance
+        # affected(n) = {n} ∪ {v : n ∈ peers(v)} — the nodes whose candidate
+        # sets can change when n's entry changes.  Computed once per engine;
+        # peers() is not assumed symmetric.
+        affected: Dict[str, set] = {node: {node} for node in instance.nodes()}
+        for node in instance.nodes():
+            for peer in instance.peers(node):
+                if peer in affected:
+                    affected[peer].add(node)
+        self._affected: Dict[str, FrozenSet[str]] = {
+            node: frozenset(members) for node, members in affected.items()
+        }
+
+    # ------------------------------------------------------------------ node eval
+    def _evaluate(
+        self,
+        state: RpvpState,
+        node: str,
+        decided_pending: List[str],
+        updates: Dict[str, List[Tuple[str, Route]]],
+    ) -> None:
+        """Recompute one node's contribution into the output collections."""
+        instance = self.instance
+        candidates = updating_peers(instance, state, node)
+        if state.best(node) is not None:
+            if candidates:
+                decided_pending.append(node)
+        elif candidates:
+            updates[node] = best_updates(instance, node, candidates)
+
+    # ------------------------------------------------------------------ cache
+    def candidates(self, state: RpvpState) -> CandidateSets:
+        """The candidate sets of ``state``, cached on the state itself."""
+        if state._engine_token is self:
+            return state._engine_cache
+        parent = state.parent
+        delta = state.delta
+        if parent is not None and delta is not None and parent._engine_token is self:
+            cache = self._derive(state, parent._engine_cache, delta)
+        else:
+            cache = self._full_scan(state)
+        state._engine_token = self
+        state._engine_cache = cache
+        return cache
+
+    def _full_scan(self, state: RpvpState) -> CandidateSets:
+        decided_pending: List[str] = []
+        updates: Dict[str, List[Tuple[str, Route]]] = {}
+        for node in self.instance.nodes():
+            self._evaluate(state, node, decided_pending, updates)
+        return CandidateSets(frozenset(decided_pending), updates)
+
+    def _derive(
+        self,
+        state: RpvpState,
+        parent_cache: CandidateSets,
+        delta: Tuple[int, Optional[Route], Optional[Route]],
+    ) -> CandidateSets:
+        slot, _old_route, _new_route = delta
+        node = state.node_names[slot]
+        affected = self._affected.get(node)
+        if affected is None:
+            # The transitioned node is outside this instance — should not
+            # happen, but fall back to the exact full recomputation.
+            return self._full_scan(state)
+        decided_pending: List[str] = [
+            name for name in parent_cache.decided_pending if name not in affected
+        ]
+        updates = {
+            name: candidates
+            for name, candidates in parent_cache.updates.items()
+            if name not in affected
+        }
+        # Sorted so the derived structures are independent of hash seeding
+        # (the per-node candidate lists come from updating_peers either way,
+        # and every current consumer additionally sorts the keys).
+        for name in sorted(affected):
+            self._evaluate(state, name, decided_pending, updates)
+        return CandidateSets(frozenset(decided_pending), updates)

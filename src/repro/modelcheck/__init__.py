@@ -1,6 +1,11 @@
 """A from-scratch explicit-state model checker (the reproduction's SPIN stand-in)."""
 
-from repro.modelcheck.hashing import BitstateFilter, StateInterner
+from repro.modelcheck.hashing import (
+    BitstateFilter,
+    StateInterner,
+    ZobristFingerprinter,
+    splitmix64,
+)
 from repro.modelcheck.trail import Trail, TrailStep
 from repro.modelcheck.explorer import (
     ExplorationStatistics,
@@ -12,6 +17,8 @@ from repro.modelcheck.explorer import (
 __all__ = [
     "BitstateFilter",
     "StateInterner",
+    "ZobristFingerprinter",
+    "splitmix64",
     "Trail",
     "TrailStep",
     "ExplorationStatistics",

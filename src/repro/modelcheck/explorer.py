@@ -135,10 +135,13 @@ class Explorer(Generic[State]):
         visited.add(root_key)
         stats.unique_states += 1
 
-        # Each stack frame: (state, labels-so-far, iterator over successors).
-        stack: List[Tuple[State, List[object], List[Tuple[object, State]], int]] = []
+        # Each stack frame: (state, label-that-led-here, successors, position).
+        # The label path to any state on the stack is reconstructed from the
+        # frames on demand (terminals only), instead of copying an O(depth)
+        # label list on every transition.
+        stack: List[Tuple[State, object, List[Tuple[object, State]], int]] = []
         root_successors = self.successors(initial_state)
-        stack.append((initial_state, [], root_successors, 0))
+        stack.append((initial_state, None, root_successors, 0))
         stats.states_expanded += 1
         stats.transitions += len(root_successors)
 
@@ -154,32 +157,34 @@ class Explorer(Generic[State]):
             if options.max_seconds is not None and time.perf_counter() - started > options.max_seconds:
                 stats.truncated = True
                 break
-            state, labels, successors, position = stack[-1]
+            state, came_by, successors, position = stack[-1]
             if position >= len(successors):
                 stack.pop()
                 continue
-            stack[-1] = (state, labels, successors, position + 1)
+            stack[-1] = (state, came_by, successors, position + 1)
             label, next_state = successors[position]
             key = self._fingerprint(next_state)
             if visited.add(key):
                 continue
             stats.unique_states += 1
-            next_labels = labels + [label]
-            stats.max_depth_reached = max(stats.max_depth_reached, len(next_labels))
-            if len(next_labels) > options.max_depth:
+            depth = len(stack)
+            stats.max_depth_reached = max(stats.max_depth_reached, depth)
+            if depth > options.max_depth:
                 stats.truncated = True
                 continue
             next_successors = self.successors(next_state)
             stats.states_expanded += 1
             stats.transitions += len(next_successors)
             if not next_successors:
+                next_labels = [frame[1] for frame in stack[1:]]
+                next_labels.append(label)
                 violation_found = self._handle_terminal(
                     next_state, key, next_labels, stats, seen_terminals, outcome, collect_converged
                 )
                 if violation_found and options.stop_at_first_violation:
                     break
             else:
-                stack.append((next_state, next_labels, next_successors, 0))
+                stack.append((next_state, label, next_successors, 0))
 
         stats.elapsed_seconds = time.perf_counter() - started
         stats.visited_bytes = visited.approximate_bytes()
@@ -219,9 +224,7 @@ class Explorer(Generic[State]):
             return False
         stats.violations += 1
         trail = self.trail_factory()
-        for label in labels:
-            description = label.describe() if hasattr(label, "describe") else str(label)
-            trail.add("rpvp-step", description)
+        trail.add_labels("rpvp-step", labels)
         trail.violation_description = violation
         outcome.violations.append(trail)
         return True

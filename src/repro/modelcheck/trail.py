@@ -39,6 +39,12 @@ class Trail:
         """Append one step."""
         self.steps.append(TrailStep(kind=kind, description=description))
 
+    def add_labels(self, kind: str, labels: Sequence[object]) -> None:
+        """Append one step per search label, using ``describe()`` when available."""
+        for label in labels:
+            description = label.describe() if hasattr(label, "describe") else str(label)
+            self.add(kind, description)
+
     def render(self) -> str:
         """The full trail as human-readable text (the "trail file" contents)."""
         lines = [

@@ -106,6 +106,40 @@ class Route:
     communities: FrozenSet[str] = frozenset()
     origin_node: Optional[str] = None
 
+    def __hash__(self) -> int:
+        """Structural hash, computed once and cached.
+
+        Routes are hashed constantly — every advertisement/rank memo lookup
+        keys on them — and the dataclass-generated hash re-folds all eight
+        fields (including the communities frozenset) on every call.
+        """
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash(
+                (
+                    self.path,
+                    self.source,
+                    self.local_pref,
+                    self.as_path_length,
+                    self.med,
+                    self.igp_cost,
+                    self.communities,
+                    self.origin_node,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __getstate__(self):
+        # The cached hash is process-specific (string hashing is seeded), so
+        # it must not travel across the pickle boundary to pool workers.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     @property
     def next_hop(self) -> Optional[str]:
         """The next hop of the route (None for a locally originated route)."""

@@ -18,6 +18,7 @@ successor relation defined here.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -25,58 +26,266 @@ from repro.exceptions import ProtocolError
 from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
 
 
-@dataclass(frozen=True)
+# --------------------------------------------------------------------------- state
+#: Routes are stored in fixed-size chunks so ``with_best`` copies one chunk
+#: plus the (short) chunk spine instead of rebuilding the whole assignment.
+_CHUNK_SHIFT = 4
+_CHUNK_SIZE = 1 << _CHUNK_SHIFT
+_CHUNK_MASK = _CHUNK_SIZE - 1
+
+
+class _NodeSpace:
+    """The shared backbone of all states over one (sorted) node set.
+
+    Every state of one protocol instance assigns routes to the same nodes, so
+    the node names and the name -> slot index live here exactly once and each
+    state stores only its route vector.
+    """
+
+    __slots__ = ("names", "slot_of", "__weakref__")
+
+    def __init__(self, names: Tuple[str, ...]) -> None:
+        self.names = names
+        self.slot_of = {name: slot for slot, name in enumerate(names)}
+
+
+#: Node spaces interned per node set: explorations over the same instance (and
+#: states rebuilt from pickles) share one backbone.  Weak values so a
+#: long-lived process (the engine's persistent pool workers) does not
+#: accumulate backbones of networks it no longer holds states for.
+_NODE_SPACES: "weakref.WeakValueDictionary[Tuple[str, ...], _NodeSpace]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def _space_for(names: Tuple[str, ...]) -> _NodeSpace:
+    space = _NODE_SPACES.get(names)
+    if space is None:
+        space = _NodeSpace(names)
+        _NODE_SPACES[names] = space
+    return space
+
+
+def _chunks_of(routes: Sequence[Optional[Route]]) -> Tuple[Tuple[Optional[Route], ...], ...]:
+    return tuple(
+        tuple(routes[start : start + _CHUNK_SIZE])
+        for start in range(0, len(routes), _CHUNK_SIZE)
+    )
+
+
 class RpvpState:
     """An RPVP network state: the best route of every node.
 
-    The assignment is stored as a tuple sorted by node name so states hash
-    and compare structurally — the representation the model checker interns
-    (paper §4.4).
+    States are persistent (immutable with structural sharing): the sorted node
+    vector lives once in a shared :class:`_NodeSpace`, routes are stored in a
+    chunked persistent vector, and :meth:`with_best` copies a single chunk
+    plus the chunk spine — O(sqrt(n))-ish instead of rebuilding an O(n)
+    tuple.  Each derived state also remembers its parent and single-slot
+    delta, which the model checker uses for O(1) incremental Zobrist
+    fingerprints (paper §4.4) and incremental successor candidate sets.
     """
 
-    assignments: Tuple[Tuple[str, Optional[Route]], ...]
+    __slots__ = (
+        "_space",
+        "_chunks",
+        "parent",
+        "delta",
+        "_fp_token",
+        "_fp",
+        "_hash",
+        "_engine_token",
+        "_engine_cache",
+    )
+
+    def __init__(self, assignments: Iterable[Tuple[str, Optional[Route]]]) -> None:
+        pairs = tuple(assignments)
+        space = _space_for(tuple(name for name, _route in pairs))
+        self._init(space, _chunks_of([route for _name, route in pairs]))
+
+    def _init(
+        self,
+        space: _NodeSpace,
+        chunks: Tuple[Tuple[Optional[Route], ...], ...],
+        parent: Optional["RpvpState"] = None,
+        delta: Optional[Tuple[int, Optional[Route], Optional[Route]]] = None,
+    ) -> "RpvpState":
+        self._space = space
+        self._chunks = chunks
+        #: The state this one was derived from via :meth:`with_best` (None for
+        #: states built from scratch).
+        self.parent = parent
+        #: ``(slot, old_route, new_route)`` of the single changed entry.
+        self.delta = delta
+        self._fp_token = None
+        self._fp = 0
+        self._hash = None
+        self._engine_token = None
+        self._engine_cache = None
+        return self
 
     @staticmethod
     def from_dict(best: Dict[str, Optional[Route]]) -> "RpvpState":
         """Build a canonical state from a node -> route mapping."""
-        return RpvpState(tuple(sorted(best.items(), key=lambda item: item[0])))
+        return RpvpState(sorted(best.items(), key=lambda item: item[0]))
+
+    @property
+    def assignments(self) -> Tuple[Tuple[str, Optional[Route]], ...]:
+        """The (node, route) pairs in node order (materialized on demand)."""
+        return tuple(zip(self._space.names, self.routes()))
+
+    def routes(self) -> List[Optional[Route]]:
+        """The route vector in node order."""
+        flat: List[Optional[Route]] = []
+        for chunk in self._chunks:
+            flat.extend(chunk)
+        return flat
+
+    def items(self) -> Iterable[Tuple[str, Optional[Route]]]:
+        """Iterate (node, route) pairs without materializing a tuple."""
+        names = iter(self._space.names)
+        for chunk in self._chunks:
+            for route in chunk:
+                yield next(names), route
+
+    def detach(self) -> "RpvpState":
+        """Drop the search-time caches once the search is done with this state.
+
+        States handed out of a search — converged states kept in results —
+        would otherwise pin their whole DFS ancestor chain in memory, plus
+        the exploration's fingerprinter (and through it the intern table and
+        Zobrist components) and candidate engine (and through it the protocol
+        instance).  The chunked vector is self-contained, so lookups and
+        equality are unaffected; future fingerprint/candidate computations
+        fall back to a from-scratch evaluation.  Returns self for chaining.
+        """
+        self.parent = None
+        self.delta = None
+        self._fp_token = None
+        self._fp = 0
+        self._engine_token = None
+        self._engine_cache = None
+        return self
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """The sorted node names (shared across states of one instance)."""
+        return self._space.names
 
     def best(self, node: str) -> Optional[Route]:
         """The best route of ``node`` (None = no route, the paper's ⊥)."""
-        index = self.__dict__.get("_index")
-        if index is None:
-            index = {name: route for name, route in self.assignments}
-            object.__setattr__(self, "_index", index)
         try:
-            return index[node]
+            slot = self._space.slot_of[node]
         except KeyError:
             raise ProtocolError(f"node {node!r} not part of this RPVP state") from None
+        return self._chunks[slot >> _CHUNK_SHIFT][slot & _CHUNK_MASK]
 
     def as_dict(self) -> Dict[str, Optional[Route]]:
         """A mutable copy of the assignment."""
-        return dict(self.assignments)
+        return dict(zip(self._space.names, self.routes()))
 
     def with_best(self, node: str, route: Optional[Route]) -> "RpvpState":
-        """A new state with ``node``'s best route replaced."""
-        updated = tuple(
-            (name, route if name == node else current)
-            for name, current in self.assignments
+        """A new state with ``node``'s best route replaced.
+
+        Shares every untouched chunk with this state and records the
+        single-slot delta for incremental fingerprinting / successor
+        generation.
+        """
+        try:
+            slot = self._space.slot_of[node]
+        except KeyError:
+            raise ProtocolError(f"node {node!r} not part of this RPVP state") from None
+        index = slot >> _CHUNK_SHIFT
+        offset = slot & _CHUNK_MASK
+        chunk = self._chunks[index]
+        old = chunk[offset]
+        new_chunk = chunk[:offset] + (route,) + chunk[offset + 1 :]
+        chunks = self._chunks[:index] + (new_chunk,) + self._chunks[index + 1 :]
+        return RpvpState.__new__(RpvpState)._init(
+            self._space, chunks, parent=self, delta=(slot, old, route)
         )
-        return RpvpState(updated)
 
     def nodes_with_routes(self) -> List[str]:
         """Nodes that currently hold a route."""
-        return [name for name, route in self.assignments if route is not None]
+        return [name for name, route in zip(self._space.names, self.routes()) if route is not None]
 
     def describe(self) -> str:
         """Multi-line human-readable dump used in trails."""
         lines = []
-        for name, route in self.assignments:
+        for name, route in zip(self._space.names, self.routes()):
             lines.append(f"  {name}: {route.describe() if route else '<no route>'}")
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------ hashing
+    def fingerprint(self, hasher) -> int:
+        """This state's Zobrist fingerprint under ``hasher``.
+
+        ``hasher`` provides ``component(slot, entry) -> int`` (see
+        :class:`repro.modelcheck.hashing.ZobristFingerprinter`).  The value is
+        the XOR of all per-slot components, computed incrementally from the
+        parent's cached fingerprint when this state came out of
+        :meth:`with_best` — O(1) amortized during a depth-first search, where
+        parents are always fingerprinted before their children.
+        """
+        if self._fp_token is hasher:
+            return self._fp
+        # Walk up to the nearest ancestor already fingerprinted by ``hasher``.
+        chain: List[RpvpState] = []
+        state: Optional[RpvpState] = self
+        while (
+            state is not None
+            and state._fp_token is not hasher
+            and state.parent is not None
+            and state.delta is not None
+        ):
+            chain.append(state)
+            state = state.parent
+        if state is None or state._fp_token is not hasher:
+            base = state if state is not None else self
+            value = 0
+            slot = 0
+            for chunk in base._chunks:
+                for route in chunk:
+                    value ^= hasher.component(slot, route)
+                    slot += 1
+            base._fp_token = hasher
+            base._fp = value
+        else:
+            value = state._fp
+        for derived in reversed(chain):
+            slot, old, new = derived.delta  # type: ignore[misc]
+            value ^= hasher.component(slot, old) ^ hasher.component(slot, new)
+            derived._fp_token = hasher
+            derived._fp = value
+        return value
+
+    # ------------------------------------------------------------------ dunder
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, RpvpState):
+            return NotImplemented
+        if self._space is not other._space and self._space.names != other._space.names:
+            return False
+        return self._chunks == other._chunks
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._space.names, self._chunks))
+        return self._hash
+
+    def __repr__(self) -> str:
+        decided = sum(1 for route in self.routes() if route is not None)
+        return f"RpvpState({decided}/{len(self)} decided)"
+
+    def __reduce__(self):
+        return (RpvpState, (self.assignments,))
+
     def __len__(self) -> int:
-        return len(self.assignments)
+        return len(self._space.names)
 
 
 @dataclass(frozen=True)
@@ -250,7 +459,7 @@ def run_to_convergence(
 def forwarding_next_hops(state: RpvpState) -> Dict[str, Optional[str]]:
     """The next hop each node forwards to in ``state`` (None = no route)."""
     result: Dict[str, Optional[str]] = {}
-    for node, route in state.assignments:
+    for node, route in state.items():
         if route is None:
             result[node] = None
         elif route.path == EPSILON:

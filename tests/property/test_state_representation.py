@@ -1,0 +1,147 @@
+"""Property tests for the persistent RPVP state representation.
+
+The chunked persistent vector, the incremental Zobrist fingerprint, and the
+incremental successor-candidate engine all promise to be *observationally
+identical* to the naive implementations they replaced (rebuild the whole
+tuple, re-intern every entry, rescan every node).  These tests pin that
+promise against naive oracles across random transition sequences and whole
+explorations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import OptimizationFlags, Plankton, PlanktonOptions
+from repro.config import ebgp_rfc7938, ospf_everywhere
+from repro.config.builder import edge_prefix
+from repro.core.successors import CandidateEngine
+from repro.modelcheck.hashing import StateInterner, ZobristFingerprinter
+from repro.policies import LoopFreedom, Reachability
+from repro.protocols.base import Path, Route
+from repro.protocols.rpvp import RpvpState
+from repro.topology import bgp_fat_tree, fat_tree
+
+NODES = tuple(f"n{i}" for i in range(23))  # not a multiple of the chunk size
+
+
+def _route(seed: int) -> Route:
+    """A small deterministic family of distinct routes."""
+    return Route(
+        path=Path(tuple(f"n{(seed + i) % 7}" for i in range(seed % 3))),
+        local_pref=100 + seed % 5,
+        as_path_length=seed % 4,
+        med=seed % 2,
+    )
+
+
+routes = st.one_of(st.none(), st.integers(min_value=0, max_value=40).map(_route))
+updates = st.lists(
+    st.tuples(st.sampled_from(NODES), routes), min_size=0, max_size=60
+)
+
+
+class TestWithBestAgainstTupleOracle:
+    @given(updates=updates)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_rebuild(self, updates):
+        oracle = {name: None for name in NODES}
+        state = RpvpState.from_dict(oracle)
+        for node, route in updates:
+            state = state.with_best(node, route)
+            oracle[node] = route
+            rebuilt = RpvpState.from_dict(oracle)
+            assert state.assignments == tuple(sorted(oracle.items()))
+            assert state == rebuilt and hash(state) == hash(rebuilt)
+            assert all(state.best(name) == oracle[name] for name in NODES)
+
+    @given(updates=updates, probe=st.sampled_from(NODES), seed=st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_divergent_states_compare_unequal(self, updates, probe, seed):
+        state = RpvpState.from_dict({name: None for name in NODES})
+        for node, route in updates:
+            state = state.with_best(node, route)
+        changed = state.with_best(probe, _route(seed))
+        if changed.best(probe) == state.best(probe):
+            assert changed == state
+        else:
+            assert changed != state
+
+    @given(updates=updates)
+    @settings(max_examples=100, deadline=None)
+    def test_fingerprint_matches_full_fold(self, updates):
+        """The incremental fingerprint equals a from-scratch fold, and equal
+        states always produce equal fingerprints."""
+        hasher = ZobristFingerprinter(StateInterner())
+        oracle = {name: None for name in NODES}
+        state = RpvpState.from_dict(oracle)
+        for node, route in updates:
+            state = state.with_best(node, route)
+            oracle[node] = route
+            incremental = state.fingerprint(hasher)
+            assert incremental == hasher.fingerprint_of(
+                route for _name, route in sorted(oracle.items())
+            )
+            # A state rebuilt without any parent chain folds to the same value.
+            assert RpvpState.from_dict(oracle).fingerprint(hasher) == incremental
+
+
+def _force_full_scan(monkeypatch):
+    """Make every candidate lookup use the naive full rescan (the oracle)."""
+
+    def full_scan_only(self, state):
+        return CandidateEngine._full_scan(self, state)
+
+    monkeypatch.setattr(CandidateEngine, "candidates", full_scan_only)
+
+
+def _stats_signature(result):
+    per_run = [
+        (
+            run.pec_index,
+            run.failure,
+            run.converged_states,
+            run.checked_states,
+            run.statistics.states_expanded if run.statistics else None,
+            run.statistics.unique_states if run.statistics else None,
+            run.statistics.transitions if run.statistics else None,
+            run.statistics.unique_terminal_states if run.statistics else None,
+            run.statistics.violations if run.statistics else None,
+        )
+        for run in result.pec_runs
+    ]
+    violations = [(v.policy, v.pec_index, v.message) for v in result.violations]
+    return (result.holds, per_run, violations)
+
+
+class TestIncrementalSuccessorEquivalence:
+    """The delta-maintained candidate sets explore exactly like full rescans."""
+
+    CASES = {
+        "ospf-fat-tree": lambda: (
+            ospf_everywhere(fat_tree(4)),
+            LoopFreedom(),
+            PlanktonOptions(fast_ospf=False, stop_at_first_violation=False),
+        ),
+        "bgp-fat-tree": lambda: (
+            ebgp_rfc7938(bgp_fat_tree(4)),
+            Reachability(destination_prefix=edge_prefix(0, 0), require_all_branches=False),
+            PlanktonOptions(stop_at_first_violation=False),
+        ),
+        "bgp-fat-tree-no-determinism": lambda: (
+            ebgp_rfc7938(bgp_fat_tree(4)),
+            Reachability(destination_prefix=edge_prefix(0, 0), require_all_branches=False),
+            PlanktonOptions(
+                stop_at_first_violation=False,
+                optimizations=OptimizationFlags().without(deterministic_nodes=True),
+                max_states_per_pec=50_000,
+            ),
+        ),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_statistics_identical(self, case, monkeypatch):
+        network, policy, options = self.CASES[case]()
+        incremental = Plankton(network, options).verify(policy)
+        _force_full_scan(monkeypatch)
+        oracle = Plankton(network, options).verify(policy)
+        assert _stats_signature(incremental) == _stats_signature(oracle)

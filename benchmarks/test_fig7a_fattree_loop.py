@@ -9,8 +9,6 @@ construction, Plankton vs the SAT-based Minesweeper-like baseline (run on the
 smallest size only for the fail variant — it already shows the scaling gap).
 """
 
-import json
-import os
 import time
 
 import pytest
@@ -23,8 +21,6 @@ from repro.policies import LoopFreedom
 from repro.topology import fat_tree
 
 ARITIES = [4, 6, 8]
-
-BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_explorer.json")
 
 
 def _network(k, induce_loop):
@@ -101,15 +97,13 @@ def _explorer_bench_row(k, variant):
     }
 
 
-def test_bench_explorer_json(reporter):
+def test_bench_explorer_json(reporter, bench_json):
     """Emit BENCH_explorer.json so explorer throughput is tracked PR-over-PR."""
     rows = {
         "fig7a_k6_pass": _explorer_bench_row(6, "pass"),
         "fig7a_k4_fail": _explorer_bench_row(4, "fail"),
     }
-    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(rows, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    bench_json(rows)
     for name, row in rows.items():
         reporter(
             "bench",

@@ -1,0 +1,101 @@
+"""Transient-exploration throughput: persistent SPVP vs the deepcopy baseline.
+
+The transient extension explores SPVP message interleavings (see
+`repro/transient/`).  The persistent :class:`SpvpState` rebuild replaced the
+per-successor ``copy.deepcopy`` + full-state signature hashing with derived
+child states and incremental Zobrist fingerprints; this module measures that
+on a fig7a-style workload — the fat-tree (k=4) eBGP instance the Figure 7(a)
+family scales over — and records states/second alongside the explorer
+benchmark in ``BENCH_explorer.json`` (emitted by the non-gating CI bench
+job).
+
+The gating test here only asserts *equivalence*: the incremental exploration
+produces bit-identical statistics to the deepcopy baseline.  The throughput
+row (with its >=5x speedup floor) lives in ``test_bench_transient_json``,
+which the gating matrix deselects the same way it deselects the explorer
+throughput row.
+"""
+
+from repro.config import ebgp_rfc7938
+from repro.core.network_model import DependencyContext, PecExplorer
+from repro.core.options import PlanktonOptions
+from repro.pec.classes import compute_pecs
+from repro.topology import bgp_fat_tree
+from repro.topology.failures import FailureScenario
+from repro.transient import (
+    NaiveTransientAnalyzer,
+    TransientAnalyzer,
+    TransientLoopFreedom,
+)
+
+def _fig7a_style_instance():
+    """The eBGP fat-tree (k=4) instance the fig7a benchmark family uses."""
+    network = ebgp_rfc7938(bgp_fat_tree(4))
+    pec = next(pec for pec in compute_pecs(network) if pec.has_bgp())
+    explorer = PecExplorer(
+        network,
+        pec,
+        FailureScenario(),
+        PlanktonOptions(),
+        dependency_context=DependencyContext(),
+    )
+    prefix = next(prefix for prefix, devices in pec.bgp_origins if devices)
+    return explorer.bgp_instance(prefix)
+
+
+def _explore(analyzer_cls, instance, max_states):
+    analyzer = analyzer_cls(
+        instance, max_states=max_states, max_depth=8, stop_at_first_violation=False
+    )
+    return analyzer.analyze([TransientLoopFreedom(ignore_converged=True)])
+
+
+def test_transient_explorer_matches_deepcopy_baseline(reporter):
+    """Gating: incremental and deepcopy explorations are bit-identical."""
+    instance = _fig7a_style_instance()
+    fast = _explore(TransientAnalyzer, instance, 150)
+    naive = _explore(NaiveTransientAnalyzer, instance, 150)
+    assert fast.stats_signature() == naive.stats_signature()
+    reporter(
+        "transient",
+        f"equivalence: {fast.states_explored} states, "
+        f"{fast.converged_states} converged, identical to deepcopy baseline",
+    )
+
+
+def test_bench_transient_json(reporter, bench_json):
+    """Emit the transient-exploration throughput row (non-gating bench job)."""
+    instance = _fig7a_style_instance()
+    budget = 500
+    fast = _explore(TransientAnalyzer, instance, budget)
+    naive = _explore(NaiveTransientAnalyzer, instance, budget)
+    assert fast.stats_signature() == naive.stats_signature()
+
+    fast_rate = fast.states_explored / max(fast.elapsed_seconds, 1e-9)
+    naive_rate = naive.states_explored / max(naive.elapsed_seconds, 1e-9)
+    speedup = fast_rate / max(naive_rate, 1e-9)
+    row = {
+        "workload": (
+            "transient SPVP exploration, fat-tree k=4 eBGP instance "
+            f"(20 devices), loop property, {budget} states / depth 8"
+        ),
+        "states_explored": fast.states_explored,
+        "converged_states": fast.converged_states,
+        "max_depth_reached": fast.max_depth_reached,
+        "truncated": fast.truncated,
+        "violations": len(fast.violations),
+        "elapsed_seconds": round(fast.elapsed_seconds, 4),
+        "states_per_second": round(fast_rate, 1),
+        "deepcopy_elapsed_seconds": round(naive.elapsed_seconds, 4),
+        "deepcopy_states_per_second": round(naive_rate, 1),
+        "speedup_vs_deepcopy": round(speedup, 1),
+    }
+    bench_json({"transient_fig7a_k4": row})
+    reporter(
+        "bench",
+        f"transient_fig7a_k4: {fast_rate:.0f} states/s incremental vs "
+        f"{naive_rate:.0f} states/s deepcopy ({speedup:.0f}x), "
+        f"{fast.states_explored} states, {fast.converged_states} converged",
+    )
+    # The acceptance floor for the rebuild; actual margin is far larger.
+    assert speedup >= 5.0

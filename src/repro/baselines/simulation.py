@@ -72,8 +72,11 @@ class SimulationVerifier:
                 if not devices:
                     continue
                 instance = explorer.bgp_instance(prefix)
-                simulator = SpvpSimulator(instance, seed=self.seed)
-                bgp_states[prefix] = simulator.run()
+                # One seeded SPVP execution over the persistent state/stepper
+                # core; the RNG consumes the canonical pending-channel order,
+                # so seeded runs pick the same interleaving the original
+                # dict-based simulator did.
+                bgp_states[prefix] = SpvpSimulator(instance, seed=self.seed).run()
             data_plane, control_plane = explorer.build_data_plane(bgp_states)
             for policy in policy_list:
                 if not policy.applies_to(pec):

@@ -87,6 +87,18 @@ class BgpDeterminism:
         self._global_max_local_pref = self._compute_global_max_local_pref()
         self._session_max_local_pref = self._compute_session_local_pref_bounds()
         self._min_as_hops = self._compute_min_as_hops()
+        # affected(v) = {v} ∪ {n : v ∈ peers(n)} — the nodes whose stability
+        # verdict can change when v's entry changes: v itself (its decidedness
+        # and current rank) and every node that reads v's decidedness through
+        # _best_future_rank.  Computed once; peers() is not assumed symmetric.
+        affected: Dict[str, set] = {node: {node} for node in instance.nodes()}
+        for node in instance.nodes():
+            for peer in instance.peers(node):
+                if peer in affected:
+                    affected[peer].add(node)
+        self._stability_affected: Dict[str, frozenset] = {
+            node: frozenset(members) for node, members in affected.items()
+        }
 
     # ------------------------------------------------------------------ bounds
     def _compute_global_max_local_pref(self) -> int:
@@ -212,6 +224,75 @@ class BgpDeterminism:
                 best = rank
         return best
 
+    def _node_is_unstable(self, node: str, state: RpvpState) -> bool:
+        """Whether ``node`` is decided but could still receive a better update."""
+        route = state.best(node)
+        if route is None:
+            return False
+        future = self._best_future_rank(node, state)
+        return future is not None and future < self.instance.cached_rank(node, route)
+
+    def _scan_unstable(self, state: RpvpState) -> frozenset:
+        """Unstable nodes by the naive all-nodes scan (roots, detached states)."""
+        return frozenset(
+            node
+            for node, route in state.items()
+            if route is not None and self._node_is_unstable(node, state)
+        )
+
+    def unstable_nodes(self, state: RpvpState) -> frozenset:
+        """The decided nodes whose selection a future update could still beat.
+
+        Cached on the state and maintained incrementally: an RPVP transition
+        changes one node's entry, and a node's stability verdict reads only
+        its own route plus the decidedness of its peers, so a child state's
+        unstable set differs from its parent's only at the transitioned node
+        and its reverse peers.  During a search the parent's cache is always
+        present (the parent was evaluated first), so the per-state cost is
+        O(deg) instead of an all-nodes scan.
+        """
+        if state._stability_token is self:
+            return state._stability_cache
+        # Walk up to the nearest ancestor this analyzer already evaluated,
+        # accumulating the union of affected node sets along the way (the
+        # check runs only on policy-pruned states, so the direct parent may
+        # not carry a cache while a close ancestor does).  Give up once the
+        # union stops being smaller than a full scan.
+        cache: Optional[frozenset] = None
+        affected: set = set()
+        total = len(state.node_names)
+        ancestor: Optional[RpvpState] = state
+        while (
+            ancestor._stability_token is not self
+            and ancestor.parent is not None
+            and ancestor.delta is not None
+            and len(affected) < total
+        ):
+            slot, _old_route, _new_route = ancestor.delta
+            members = self._stability_affected.get(ancestor.node_names[slot])
+            if members is None:
+                affected = None  # unknown node: force the full scan below
+                break
+            affected |= members
+            ancestor = ancestor.parent
+        if (
+            affected is not None
+            and len(affected) < total
+            and ancestor._stability_token is self
+        ):
+            unstable = {
+                node for node in ancestor._stability_cache if node not in affected
+            }
+            for node in affected:
+                if self._node_is_unstable(node, state):
+                    unstable.add(node)
+            cache = frozenset(unstable)
+        if cache is None:
+            cache = self._scan_unstable(state)
+        state._stability_token = self
+        state._stability_cache = cache
+        return cache
+
     def decisions_are_stable(self, state: RpvpState) -> bool:
         """Whether every decided node's selection could survive to convergence.
 
@@ -222,13 +303,7 @@ class BgpDeterminism:
         path, contradicting consistency).  A tie is fine — on ties a node
         keeps its current path.
         """
-        for node, route in state.items():
-            if route is None:
-                continue
-            future = self._best_future_rank(node, state)
-            if future is not None and future < self.instance.cached_rank(node, route):
-                return False
-        return True
+        return not self.unstable_nodes(state)
 
     def analyze(
         self,

@@ -67,6 +67,25 @@ class ZobristFingerprinter:
             self._components[key] = value
         return value
 
+    def queue_component(self, slot: int, entries: Iterable[Hashable]) -> int:
+        """The component for a whole FIFO queue sitting in ``slot``.
+
+        SPVP buffer contents are order- and multiplicity-sensitive (two queued
+        copies of the same advertisement are a different state from one), so a
+        per-element XOR would be unsound — identical elements cancel.  The
+        queue is therefore interned as one tuple entry: any append/pop swaps
+        the single old component for the new one.
+        """
+        return self.component(slot, tuple(entries))
+
+    def delta(self, fingerprint: int, slot: int, old: Hashable, new: Hashable) -> int:
+        """``fingerprint`` after ``slot`` changed from ``old`` to ``new``.
+
+        XOR is its own inverse, so the update is O(1): XOR out the old
+        component, XOR in the new one.
+        """
+        return fingerprint ^ self.component(slot, old) ^ self.component(slot, new)
+
     def fingerprint_of(self, entries: Iterable[Hashable]) -> int:
         """Fingerprint of a full state vector (used for roots and oracles)."""
         value = 0

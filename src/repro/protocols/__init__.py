@@ -20,7 +20,13 @@ from repro.protocols.rpvp import (
     rpvp_successors,
     run_to_convergence,
 )
-from repro.protocols.spvp import SpvpSimulator, SpvpEvent
+from repro.protocols.spvp import (
+    ReferenceSpvpSimulator,
+    SpvpEvent,
+    SpvpSimulator,
+    SpvpState,
+    SpvpStepper,
+)
 
 __all__ = [
     "EPSILON",
@@ -44,6 +50,9 @@ __all__ = [
     "is_converged",
     "rpvp_successors",
     "run_to_convergence",
+    "ReferenceSpvpSimulator",
     "SpvpSimulator",
+    "SpvpState",
+    "SpvpStepper",
     "SpvpEvent",
 ]

@@ -95,6 +95,8 @@ class RpvpState:
         "_hash",
         "_engine_token",
         "_engine_cache",
+        "_stability_token",
+        "_stability_cache",
     )
 
     def __init__(self, assignments: Iterable[Tuple[str, Optional[Route]]]) -> None:
@@ -121,6 +123,8 @@ class RpvpState:
         self._hash = None
         self._engine_token = None
         self._engine_cache = None
+        self._stability_token = None
+        self._stability_cache = None
         return self
 
     @staticmethod
@@ -164,6 +168,8 @@ class RpvpState:
         self._fp = 0
         self._engine_token = None
         self._engine_cache = None
+        self._stability_token = None
+        self._stability_cache = None
         return self
 
     @property
@@ -253,7 +259,7 @@ class RpvpState:
             value = state._fp
         for derived in reversed(chain):
             slot, old, new = derived.delta  # type: ignore[misc]
-            value ^= hasher.component(slot, old) ^ hasher.component(slot, new)
+            value = hasher.delta(value, slot, old, new)
             derived._fp_token = hasher
             derived._fp = value
         return value

@@ -13,14 +13,25 @@ the same converged states — but SPVP is implemented here for three reasons:
   arbitrary SPVP execution, which is exactly how simulation misses violations
   that only some orderings expose (BGP wedgies);
 * divergent configurations (BAD GADGET) can be demonstrated on it.
+
+The state lives in :class:`SpvpState`, a persistent (immutable, structurally
+shared) vector mirroring :class:`repro.protocols.rpvp.RpvpState`'s backbone
+design: one shared slot layout per instance (:class:`_SpvpSpace`), values in
+a chunked persistent vector, each derived state remembering its parent and
+the slots it changed.  :class:`SpvpStepper` is the stateless transition
+function over those states; :class:`SpvpSimulator` is a thin mutable wrapper
+(current state + RNG + history) that keeps the historic simulation API.
+:class:`ReferenceSpvpSimulator` is the original dict/deque implementation,
+kept verbatim as the oracle for the property tests and as the deepcopy
+baseline the transient-exploration benchmark measures against.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
@@ -42,13 +53,583 @@ class SpvpEvent:
         return f"{self.node} processed {adv} from {self.peer}; best is now {best}"
 
 
+#: A directed message channel: (sender, receiver).
+Channel = Tuple[str, str]
+
+#: Values are stored in fixed-size chunks so a step copies the few chunks it
+#: touches plus the (short) chunk spine instead of the whole vector.
+_CHUNK_SHIFT = 4
+_CHUNK_SIZE = 1 << _CHUNK_SHIFT
+_CHUNK_MASK = _CHUNK_SIZE - 1
+
+
+class _SpvpSpace:
+    """The shared slot layout of all SPVP states over one protocol instance.
+
+    Every state of one instance assigns values to the same slots, so the slot
+    numbering (and the per-node peer/slot adjacency the stepper needs) lives
+    here exactly once:
+
+    * slots ``[0, len(nodes))`` — per-node best route;
+    * the next block — per-(node, peer) rib-in entry;
+    * the final block, from :attr:`buffer_base` — per-(sender, receiver)
+      channel FIFO, stored as a tuple of queued advertisements.
+
+    Rib and channel slots are laid out in ``for node in nodes(): for peer in
+    peers(node)`` order — the insertion order of the original dict-based
+    simulator — so channel enumeration (and with it seeded simulations and
+    exploration order) is unchanged by the representation.
+    """
+
+    __slots__ = (
+        "nodes",
+        "origin_set",
+        "best_slot",
+        "rib_slot",
+        "channels",
+        "channel_slot",
+        "rib_slots_of",
+        "out_slots_of",
+        "buffer_base",
+        "total_slots",
+    )
+
+    def __init__(self, instance: PathVectorInstance) -> None:
+        self.nodes: Tuple[str, ...] = tuple(instance.nodes())
+        self.origin_set: FrozenSet[str] = frozenset(instance.origins())
+        self.best_slot: Dict[str, int] = {
+            node: slot for slot, node in enumerate(self.nodes)
+        }
+        self.rib_slot: Dict[Tuple[str, str], int] = {}
+        self.channels: List[Channel] = []
+        self.channel_slot: Dict[Channel, int] = {}
+        next_slot = len(self.nodes)
+        for node in self.nodes:
+            for peer in instance.peers(node):
+                self.rib_slot[(node, peer)] = next_slot
+                next_slot += 1
+        self.buffer_base = next_slot
+        for node in self.nodes:
+            for peer in instance.peers(node):
+                channel = (peer, node)
+                self.channels.append(channel)
+                self.channel_slot[channel] = next_slot
+                next_slot += 1
+        self.total_slots = next_slot
+        #: (peer, rib slot) pairs of each node, in peers() order — the
+        #: candidate enumeration order of best-path selection.
+        self.rib_slots_of: Dict[str, Tuple[Tuple[str, int], ...]] = {
+            node: tuple(
+                (peer, self.rib_slot[(node, peer)]) for peer in instance.peers(node)
+            )
+            for node in self.nodes
+        }
+        #: (peer, channel, channel slot) triples of each node's outgoing
+        #: channels, in peers() order — the re-advertisement fan-out.
+        self.out_slots_of: Dict[str, Tuple[Tuple[str, Channel, int], ...]] = {
+            node: tuple(
+                (peer, (node, peer), self.channel_slot[(node, peer)])
+                for peer in instance.peers(node)
+            )
+            for node in self.nodes
+        }
+
+
+def _space_for(instance: PathVectorInstance) -> _SpvpSpace:
+    """The (memoised) slot layout of ``instance``."""
+    space = getattr(instance, "_spvp_space", None)
+    if space is None:
+        space = _SpvpSpace(instance)
+        instance._spvp_space = space  # type: ignore[attr-defined]
+    return space
+
+
+class SpvpState:
+    """A persistent SPVP network state: best routes, rib-ins, FIFO buffers.
+
+    States are immutable with structural sharing: all values (routes for
+    best/rib-in slots, tuples of queued advertisements for channel slots)
+    live in one chunked persistent vector over the instance's shared
+    :class:`_SpvpSpace`.  A delivery touches a handful of slots (the drained
+    channel, the receiver's rib-in and best, and — on a best-path change —
+    the receiver's outgoing channels), so a derived state copies only those
+    chunks and records the slot deltas, which makes its Zobrist visited-set
+    fingerprint an O(changed-slots) XOR off its parent's instead of a
+    full-state hash.  Each derived state also keeps its parent and the
+    :class:`SpvpEvent` that produced it, so explorers reconstruct witness
+    event sequences from the parent chain instead of copying histories.
+
+    Fingerprints key on *paths* (route attributes are a deterministic
+    function of the path for a fixed instance), matching the visited-set
+    signature the pre-refactor explorer used; equality compares full routes.
+    """
+
+    __slots__ = (
+        "_space",
+        "_chunks",
+        "parent",
+        "delta",
+        "event",
+        "pending",
+        "_fp_token",
+        "_fp",
+        "_hash",
+    )
+
+    def _init(
+        self,
+        space: _SpvpSpace,
+        chunks: Tuple[Tuple[object, ...], ...],
+        pending: FrozenSet[Channel],
+        parent: Optional["SpvpState"] = None,
+        delta: Tuple[Tuple[int, object, object], ...] = (),
+        event: Optional[SpvpEvent] = None,
+    ) -> "SpvpState":
+        self._space = space
+        self._chunks = chunks
+        #: Channels with at least one queued advertisement (delta-maintained:
+        #: one delivery removes at most the drained channel and adds the
+        #: receiver's out-channels; no buffer rescan ever happens).
+        self.pending = pending
+        #: The state this one was derived from (None for roots).
+        self.parent = parent
+        #: ``(slot, old_value, new_value)`` triples of the changed slots.
+        self.delta = delta
+        #: The delivery that produced this state from its parent.
+        self.event = event
+        self._fp_token = None
+        self._fp = 0
+        self._hash = None
+        return self
+
+    # ------------------------------------------------------------------ access
+    def _get(self, slot: int) -> object:
+        return self._chunks[slot >> _CHUNK_SHIFT][slot & _CHUNK_MASK]
+
+    def best_of(self, node: str) -> Optional[Route]:
+        """The current best route of ``node`` (None = the paper's ⊥)."""
+        try:
+            slot = self._space.best_slot[node]
+        except KeyError:
+            raise ProtocolError(f"node {node!r} not part of this SPVP state") from None
+        return self._get(slot)  # type: ignore[return-value]
+
+    def rib_in_of(self, node: str, peer: str) -> Optional[Route]:
+        """The rib-in entry ``node`` holds for ``peer``."""
+        try:
+            slot = self._space.rib_slot[(node, peer)]
+        except KeyError:
+            raise ProtocolError(
+                f"({node!r}, {peer!r}) is not a session of this SPVP state"
+            ) from None
+        return self._get(slot)  # type: ignore[return-value]
+
+    def buffer_of(self, channel: Channel) -> Tuple[Optional[Route], ...]:
+        """The queued advertisements of ``channel``, oldest first."""
+        try:
+            slot = self._space.channel_slot[channel]
+        except KeyError:
+            raise ProtocolError(f"channel {channel!r} not part of this SPVP state") from None
+        return self._get(slot)  # type: ignore[return-value]
+
+    def best_map(self) -> Dict[str, Optional[Route]]:
+        """The node -> best route assignment as a mutable dict."""
+        return {node: self._get(slot) for node, slot in self._space.best_slot.items()}
+
+    def rib_in_map(self) -> Dict[Tuple[str, str], Optional[Route]]:
+        """The (node, peer) -> rib-in assignment as a mutable dict."""
+        return {key: self._get(slot) for key, slot in self._space.rib_slot.items()}
+
+    def buffer_map(self) -> Dict[Channel, Tuple[Optional[Route], ...]]:
+        """The channel -> queued advertisements map (tuples, oldest first)."""
+        return {
+            channel: self._get(self._space.channel_slot[channel])
+            for channel in self._space.channels
+        }
+
+    def pending_channels(self) -> List[Channel]:
+        """Pending channels in the canonical (slot) enumeration order."""
+        if not self.pending:
+            return []
+        slot_of = self._space.channel_slot
+        return sorted(self.pending, key=slot_of.__getitem__)
+
+    def is_converged(self) -> bool:
+        """True when every buffer is empty (the SPVP convergence condition)."""
+        return not self.pending
+
+    def converged_rpvp(self) -> RpvpState:
+        """The current best-path assignment as an :class:`RpvpState`."""
+        return RpvpState.from_dict(self.best_map())
+
+    def witness_events(self) -> List[SpvpEvent]:
+        """The delivery sequence from the root to this state (parent chain)."""
+        events: List[SpvpEvent] = []
+        state: Optional[SpvpState] = self
+        while state is not None:
+            if state.event is not None:
+                events.append(state.event)
+            state = state.parent
+        events.reverse()
+        return events
+
+    # ------------------------------------------------------------------ derive
+    def _derive(
+        self,
+        updates: List[Tuple[int, object]],
+        pending: FrozenSet[Channel],
+        event: Optional[SpvpEvent],
+    ) -> "SpvpState":
+        """A new state with ``updates`` applied, sharing untouched chunks."""
+        chunks = list(self._chunks)
+        touched: Dict[int, List[object]] = {}
+        delta: List[Tuple[int, object, object]] = []
+        for slot, new in updates:
+            index = slot >> _CHUNK_SHIFT
+            chunk = touched.get(index)
+            if chunk is None:
+                chunk = list(chunks[index])
+                touched[index] = chunk
+            old = chunk[slot & _CHUNK_MASK]
+            if old == new:
+                continue
+            chunk[slot & _CHUNK_MASK] = new
+            delta.append((slot, old, new))
+        for index, chunk in touched.items():
+            chunks[index] = tuple(chunk)
+        return SpvpState.__new__(SpvpState)._init(
+            self._space,
+            tuple(chunks),
+            pending,
+            parent=self,
+            delta=tuple(delta),
+            event=event,
+        )
+
+    # ------------------------------------------------------------------ hashing
+    def _component(self, hasher, slot: int, value: object) -> int:
+        """The Zobrist component of ``value`` in ``slot``, path-normalised."""
+        if slot >= self._space.buffer_base:
+            return hasher.queue_component(
+                slot,
+                (route.path if route is not None else None for route in value),  # type: ignore[union-attr]
+            )
+        return hasher.component(slot, value.path if value is not None else None)  # type: ignore[union-attr]
+
+    def fingerprint(self, hasher) -> int:
+        """This state's Zobrist fingerprint under ``hasher``.
+
+        Computed incrementally from the parent's cached fingerprint via the
+        recorded slot deltas — O(changed slots) during a search, where parents
+        are always fingerprinted before their children — falling back to a
+        full fold over all slots for roots (and detached states).
+        """
+        if self._fp_token is hasher:
+            return self._fp
+        chain: List[SpvpState] = []
+        state: Optional[SpvpState] = self
+        while (
+            state is not None
+            and state._fp_token is not hasher
+            and state.parent is not None
+        ):
+            chain.append(state)
+            state = state.parent
+        if state is None or state._fp_token is not hasher:
+            base = state if state is not None else self
+            value = 0
+            slot = 0
+            for chunk in base._chunks:
+                for entry in chunk:
+                    value ^= base._component(hasher, slot, entry)
+                    slot += 1
+            base._fp_token = hasher
+            base._fp = value
+        else:
+            value = state._fp
+        for derived in reversed(chain):
+            for slot, old, new in derived.delta:
+                value ^= derived._component(hasher, slot, old)
+                value ^= derived._component(hasher, slot, new)
+            derived._fp_token = hasher
+            derived._fp = value
+        return value
+
+    # ------------------------------------------------------------------ dunder
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, SpvpState):
+            return NotImplemented
+        if self._space is not other._space and self._space.nodes != other._space.nodes:
+            return False
+        return self._chunks == other._chunks
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._space.nodes, self._chunks))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"SpvpState({len(self._space.nodes)} nodes, "
+            f"{len(self.pending)} pending channel(s))"
+        )
+
+
+class SpvpStepper:
+    """The stateless SPVP transition function over :class:`SpvpState`.
+
+    One stepper serves one protocol instance; it owns no mutable protocol
+    state, so any number of explorations/simulations can share it and a
+    single state can be expanded along every pending channel without copying
+    the rest of the world.
+    """
+
+    def __init__(self, instance: PathVectorInstance) -> None:
+        self.instance = instance
+        self.space = _space_for(instance)
+
+    # ------------------------------------------------------------------ roots
+    def initial_state(self) -> SpvpState:
+        """The SPVP initial state: origins hold and advertise their route."""
+        space = self.space
+        instance = self.instance
+        values: List[object] = [None] * space.total_slots
+        for slot in range(space.buffer_base, space.total_slots):
+            values[slot] = ()
+        pending: List[Channel] = []
+        for node in space.nodes:
+            if node not in space.origin_set:
+                continue
+            route = instance.origin_route(node)  # type: ignore[attr-defined]
+            values[space.best_slot[node]] = route
+            # Origins advertise their path to every peer up front (Appendix A).
+            for peer, channel, slot in space.out_slots_of[node]:
+                values[slot] = (instance.cached_export(node, peer, route),)
+                pending.append(channel)
+        chunks = tuple(
+            tuple(values[start : start + _CHUNK_SIZE])
+            for start in range(0, len(values), _CHUNK_SIZE)
+        )
+        return SpvpState.__new__(SpvpState)._init(
+            self.space, chunks, frozenset(pending)
+        )
+
+    def state_from_maps(
+        self,
+        best: Dict[str, Optional[Route]],
+        rib_in: Dict[Tuple[str, str], Optional[Route]],
+        buffers: Dict[Channel, Iterable[Optional[Route]]],
+    ) -> SpvpState:
+        """Build a state from explicit maps (oracle tests, reconstruction)."""
+        space = self.space
+        values: List[object] = [None] * space.total_slots
+        for node, slot in space.best_slot.items():
+            values[slot] = best[node]
+        for key, slot in space.rib_slot.items():
+            values[slot] = rib_in[key]
+        pending: List[Channel] = []
+        for channel in space.channels:
+            queue = tuple(buffers[channel])
+            values[space.channel_slot[channel]] = queue
+            if queue:
+                pending.append(channel)
+        chunks = tuple(
+            tuple(values[start : start + _CHUNK_SIZE])
+            for start in range(0, len(values), _CHUNK_SIZE)
+        )
+        return SpvpState.__new__(SpvpState)._init(space, chunks, frozenset(pending))
+
+    # ------------------------------------------------------------------ stepping
+    def deliver(self, state: SpvpState, channel: Channel) -> Tuple[SpvpEvent, SpvpState]:
+        """Process the oldest advertisement queued on ``channel``.
+
+        Returns the event and the successor state; raises
+        :class:`ProtocolError` when the channel has nothing pending.
+        """
+        space = self.space
+        instance = self.instance
+        channel_slot = space.channel_slot.get(channel)
+        if channel_slot is None:
+            raise ProtocolError(f"channel {channel} has no pending message")
+        queue: Tuple[Optional[Route], ...] = state._get(channel_slot)  # type: ignore[assignment]
+        if not queue:
+            raise ProtocolError(f"channel {channel} has no pending message")
+        sender, receiver = channel
+        advertised = queue[0]
+        remaining = queue[1:]
+        updates: List[Tuple[int, object]] = [(channel_slot, remaining)]
+
+        imported = (
+            None
+            if advertised is None
+            else instance.cached_import(receiver, sender, advertised)
+        )
+        if imported is not None and imported.path.contains(receiver):
+            imported = None
+        updates.append((space.rib_slot[(receiver, sender)], imported))
+
+        current: Optional[Route] = state._get(space.best_slot[receiver])  # type: ignore[assignment]
+        new_best = self._select_best(state, receiver, sender, imported, current)
+        updates.append((space.best_slot[receiver], new_best))
+        event = SpvpEvent(node=receiver, peer=sender, advertised=advertised, new_best=new_best)
+
+        pending = state.pending
+        if not remaining:
+            pending = pending - {channel}
+        old_path = current.path if current is not None else None
+        new_path = new_best.path if new_best is not None else None
+        if old_path != new_path:
+            # The receiver re-advertises its (possibly withdrawn) best path.
+            added: List[Channel] = []
+            for peer, out_channel, out_slot in space.out_slots_of[receiver]:
+                advertisement = instance.cached_export(receiver, peer, new_best)
+                out_queue: Tuple[Optional[Route], ...] = (
+                    remaining if out_slot == channel_slot else state._get(out_slot)  # type: ignore[assignment]
+                )
+                updates.append((out_slot, out_queue + (advertisement,)))
+                added.append(out_channel)
+            pending = pending | frozenset(added)
+        return event, state._derive(updates, pending, event)
+
+    def _select_best(
+        self,
+        state: SpvpState,
+        node: str,
+        updated_peer: str,
+        updated_entry: Optional[Route],
+        current: Optional[Route],
+    ) -> Optional[Route]:
+        """Recompute ``node``'s best route from its rib-in and local origin."""
+        instance = self.instance
+        candidates: List[Route] = []
+        if node in self.space.origin_set:
+            candidates.append(instance.origin_route(node))  # type: ignore[attr-defined]
+        for peer, slot in self.space.rib_slots_of[node]:
+            stored = updated_entry if peer == updated_peer else state._get(slot)
+            if stored is not None:
+                candidates.append(stored)  # type: ignore[arg-type]
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda route: instance.cached_rank(node, route))
+        if current is not None and current in candidates:
+            # Appendix A: if the best rib-in entry ties with the still-valid
+            # current best path, the best path does not change.
+            if instance.cached_rank(node, current) == instance.cached_rank(node, best):
+                return current
+        return best
+
+    def fail_session(self, state: SpvpState, a: str, b: str) -> SpvpState:
+        """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers.
+
+        Appendix A: when a session fails, queued messages are lost and each
+        peer sees a withdraw.
+        """
+        space = self.space
+        updates: List[Tuple[int, object]] = []
+        added: List[Channel] = []
+        for channel in ((a, b), (b, a)):
+            slot = space.channel_slot.get(channel)
+            if slot is None:
+                continue
+            updates.append((slot, (None,)))
+            added.append(channel)
+        return state._derive(updates, state.pending | frozenset(added), None)
+
+
 class SpvpSimulator:
     """An executable extended-SPVP instance over a :class:`PathVectorInstance`.
 
-    The simulator owns mutable state: per-node best routes, per-(node, peer)
-    rib-in, and per-(sender, receiver) FIFO message buffers.  ``step`` picks a
-    pending message (non-deterministically via the supplied RNG) and processes
-    it atomically, as in Appendix A.
+    A thin mutable wrapper over the persistent core: the current
+    :class:`SpvpState`, an RNG for non-deterministic channel picks, and the
+    event history.  ``step`` picks a pending message (non-deterministically
+    via the supplied RNG) and processes it atomically, as in Appendix A.
+    Channel enumeration order matches the original dict-based simulator, so
+    seeded runs reproduce the same executions.
+    """
+
+    def __init__(self, instance: PathVectorInstance, seed: int = 0) -> None:
+        self.instance = instance
+        self.rng = random.Random(seed)
+        self.stepper = SpvpStepper(instance)
+        self.state = self.stepper.initial_state()
+        self.history: List[SpvpEvent] = []
+        self.steps = 0
+
+    # ------------------------------------------------------------------ views
+    @property
+    def best(self) -> Dict[str, Optional[Route]]:
+        """The per-node best routes of the current state."""
+        return self.state.best_map()
+
+    @property
+    def rib_in(self) -> Dict[Tuple[str, str], Optional[Route]]:
+        """The per-(node, peer) rib-in entries of the current state."""
+        return self.state.rib_in_map()
+
+    @property
+    def buffers(self) -> Dict[Channel, Tuple[Optional[Route], ...]]:
+        """The per-channel message queues of the current state."""
+        return self.state.buffer_map()
+
+    # ------------------------------------------------------------------ stepping
+    def pending_messages(self) -> List[Channel]:
+        """(sender, receiver) pairs with at least one queued advertisement."""
+        return self.state.pending_channels()
+
+    def is_converged(self) -> bool:
+        """True when every buffer is empty (the SPVP convergence condition)."""
+        return self.state.is_converged()
+
+    def step(self, channel: Optional[Channel] = None) -> Optional[SpvpEvent]:
+        """Process one queued advertisement; returns the event or None if idle."""
+        pending = self.state.pending_channels()
+        if not pending:
+            return None
+        if channel is None:
+            channel = self.rng.choice(pending)
+        event, self.state = self.stepper.deliver(self.state, channel)
+        self.steps += 1
+        self.history.append(event)
+        return event
+
+    # ------------------------------------------------------------------ running
+    def run(self, max_steps: int = 100_000) -> RpvpState:
+        """Run until convergence (or raise after ``max_steps``); return the state."""
+        while not self.is_converged():
+            if self.steps >= max_steps:
+                raise ProtocolError(
+                    f"SPVP did not converge within {max_steps} steps for "
+                    f"{self.instance.name} (possibly a divergent configuration)"
+                )
+            self.step()
+        return self.converged_state()
+
+    def converged_state(self) -> RpvpState:
+        """The current best-path assignment as an :class:`RpvpState`."""
+        return self.state.converged_rpvp()
+
+    def fail_session(self, a: str, b: str) -> None:
+        """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers."""
+        self.state = self.stepper.fail_session(self.state, a, b)
+
+
+class ReferenceSpvpSimulator:
+    """The original mutable dict/deque SPVP simulator, kept as an oracle.
+
+    This is the naive implementation the persistent core replaced: plain
+    dictionaries for best/rib-in, ``deque`` buffers, in-place mutation.  The
+    property tests (`tests/property/test_spvp_state.py`) step it in lockstep
+    with :class:`SpvpState` to pin observational equivalence, and the
+    deepcopy-based :class:`repro.transient.explorer.NaiveTransientAnalyzer`
+    explores over it as the throughput baseline.  It deliberately calls the
+    uncached ``import_``/``export`` instance methods so a memoisation bug
+    cannot hide from the comparison.
     """
 
     def __init__(self, instance: PathVectorInstance, seed: int = 0) -> None:
@@ -56,7 +637,7 @@ class SpvpSimulator:
         self.rng = random.Random(seed)
         self.best: Dict[str, Optional[Route]] = {}
         self.rib_in: Dict[Tuple[str, str], Optional[Route]] = {}
-        self.buffers: Dict[Tuple[str, str], Deque[Optional[Route]]] = {}
+        self.buffers: Dict[Channel, Deque[Optional[Route]]] = {}
         self.history: List[SpvpEvent] = []
         self.steps = 0
         self._initialise()
@@ -73,7 +654,6 @@ class SpvpSimulator:
             for peer in self.instance.peers(node):
                 self.rib_in[(node, peer)] = None
                 self.buffers[(peer, node)] = deque()
-        # Origins advertise their path to every peer up front (Appendix A).
         for origin in origin_set:
             self._advertise(origin)
 
@@ -84,7 +664,7 @@ class SpvpSimulator:
             self.buffers[(sender, peer)].append(advertisement)
 
     # ------------------------------------------------------------------ stepping
-    def pending_messages(self) -> List[Tuple[str, str]]:
+    def pending_messages(self) -> List[Channel]:
         """(sender, receiver) pairs with at least one queued advertisement."""
         return [key for key, queue in self.buffers.items() if queue]
 
@@ -92,7 +672,7 @@ class SpvpSimulator:
         """True when every buffer is empty (the SPVP convergence condition)."""
         return not self.pending_messages()
 
-    def step(self, channel: Optional[Tuple[str, str]] = None) -> Optional[SpvpEvent]:
+    def step(self, channel: Optional[Channel] = None) -> Optional[SpvpEvent]:
         """Process one queued advertisement; returns the event or None if idle."""
         pending = self.pending_messages()
         if not pending:
@@ -144,8 +724,6 @@ class SpvpSimulator:
         current = self.best[node]
         best = min(candidates, key=lambda route: self.instance.rank(node, route))
         if current is not None and current in candidates:
-            # Appendix A: if the best rib-in entry ties with the still-valid
-            # current best path, the best path does not change.
             if self.instance.rank(node, current) == self.instance.rank(node, best):
                 return current
         return best
@@ -167,11 +745,7 @@ class SpvpSimulator:
         return RpvpState.from_dict(dict(self.best))
 
     def fail_session(self, a: str, b: str) -> None:
-        """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers.
-
-        Appendix A: when a session fails, queued messages are lost and each
-        peer sees a withdraw.
-        """
+        """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers."""
         for sender, receiver in ((a, b), (b, a)):
             if (sender, receiver) in self.buffers:
                 self.buffers[(sender, receiver)].clear()

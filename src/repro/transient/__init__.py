@@ -9,6 +9,7 @@ interleavings, checking transient properties in every reachable state.
 """
 
 from repro.transient.explorer import (
+    NaiveTransientAnalyzer,
     TransientAnalysisResult,
     TransientAnalyzer,
     TransientViolation,
@@ -23,6 +24,7 @@ from repro.transient.properties import (
 )
 
 __all__ = [
+    "NaiveTransientAnalyzer",
     "TransientAnalyzer",
     "TransientAnalysisResult",
     "TransientViolation",

@@ -11,19 +11,37 @@ The exploration is a breadth-first search over SPVP states (best paths,
 rib-ins and message buffers), bounded by a state budget and a depth budget so
 divergent configurations (BAD GADGET) terminate with a truncation flag rather
 than running forever.
+
+The per-state step is incremental, mirroring the RPVP explorer's treatment:
+successors are derived :class:`repro.protocols.spvp.SpvpState` children
+(structural sharing, no ``copy.deepcopy`` of the simulator), the visited-set
+key is an O(changed-slots) Zobrist XOR off the parent's fingerprint instead
+of a full (best, rib-in, buffers) tuple hash, pending channels are
+delta-maintained on the state, and witness event sequences are reconstructed
+from the BFS parent chain only when a violation is actually reported.
+:class:`NaiveTransientAnalyzer` keeps the pre-refactor deepcopy/full-signature
+exploration as the equivalence oracle and throughput baseline.
+
+State-budget accounting is deduplicated: a state counts against
+``max_states`` exactly once — when it is first admitted to the visited set —
+no matter how many branches rediscover it, and ``truncated`` is set only when
+a genuinely new state had to be dropped.
 """
 
 from __future__ import annotations
 
 import copy
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config.objects import NetworkConfig
+from repro.modelcheck.hashing import StateInterner, ZobristFingerprinter
 from repro.pec.classes import PacketEquivalenceClass
-from repro.protocols.base import PathVectorInstance
-from repro.protocols.spvp import SpvpSimulator
+from repro.protocols.base import PathVectorInstance, Route
+from repro.protocols.rpvp import RpvpState
+from repro.protocols.spvp import ReferenceSpvpSimulator, SpvpState, SpvpStepper
 from repro.topology.failures import FailureScenario
 from repro.transient.properties import TransientForwarding, TransientProperty
 
@@ -62,6 +80,9 @@ class TransientAnalysisResult:
     truncated: bool = False
     elapsed_seconds: float = 0.0
     violations: List[TransientViolation] = field(default_factory=list)
+    #: Converged best-path assignments, populated when the analyzer was built
+    #: with ``collect_converged=True`` (the Theorem 1 cross-model check).
+    converged_rpvp_states: List[RpvpState] = field(default_factory=list)
 
     @property
     def holds(self) -> bool:
@@ -77,6 +98,23 @@ class TransientAnalysisResult:
             f"{self.elapsed_seconds:.3f}s{suffix}"
         )
 
+    def stats_signature(self) -> Tuple:
+        """Everything observable about the exploration except wall-clock time.
+
+        Used by the equivalence tests to assert the incremental and the naive
+        explorations are bit-identical.
+        """
+        return (
+            self.states_explored,
+            self.converged_states,
+            self.max_depth_reached,
+            self.truncated,
+            tuple(
+                (v.property_name, v.message, v.depth, v.converged, v.witness)
+                for v in self.violations
+            ),
+        )
+
 
 class TransientAnalyzer:
     """Breadth-first exploration of SPVP states checking transient properties."""
@@ -87,11 +125,13 @@ class TransientAnalyzer:
         max_states: int = 20_000,
         max_depth: int = 64,
         stop_at_first_violation: bool = True,
+        collect_converged: bool = False,
     ) -> None:
         self.instance = instance
         self.max_states = max_states
         self.max_depth = max_depth
         self.stop_at_first_violation = stop_at_first_violation
+        self.collect_converged = collect_converged
 
     # ------------------------------------------------------------------ exploration
     def analyze(
@@ -103,38 +143,38 @@ class TransientAnalyzer:
         started = time.perf_counter()
         result = TransientAnalysisResult()
 
-        root = SpvpSimulator(self.instance, seed=0)
-        visited: Set[Tuple] = set()
-        frontier: List[Tuple[SpvpSimulator, int]] = [(root, 0)]
-        visited.add(self._signature(root))
+        stepper = SpvpStepper(self.instance)
+        hasher = ZobristFingerprinter(StateInterner())
+        root = stepper.initial_state()
+        visited: Set[int] = {root.fingerprint(hasher)}
+        frontier: Deque[Tuple[SpvpState, int]] = deque([(root, 0)])
 
         while frontier:
-            simulator, depth = frontier.pop(0)
+            state, depth = frontier.popleft()
             result.states_explored += 1
             result.max_depth_reached = max(result.max_depth_reached, depth)
-            converged = simulator.is_converged()
+            converged = state.is_converged()
             if converged:
                 result.converged_states += 1
+                if self.collect_converged:
+                    result.converged_rpvp_states.append(state.converged_rpvp())
 
-            stop = self._check_state(simulator, converged, depth, properties, result)
+            stop = self._check_state(state, converged, depth, properties, result)
             if stop:
                 break
 
             if converged or depth >= self.max_depth:
                 continue
-            if result.states_explored >= self.max_states:
-                result.truncated = True
-                break
 
-            for channel in simulator.pending_messages():
-                successor = copy.deepcopy(simulator)
-                successor.step(channel)
-                signature = self._signature(successor)
-                if signature in visited:
+            for channel in state.pending_channels():
+                _event, successor = stepper.deliver(state, channel)
+                fingerprint = successor.fingerprint(hasher)
+                if fingerprint in visited:
                     continue
-                visited.add(signature)
                 if len(visited) >= self.max_states:
                     result.truncated = True
+                    break
+                visited.add(fingerprint)
                 frontier.append((successor, depth + 1))
 
         result.elapsed_seconds = time.perf_counter() - started
@@ -143,13 +183,98 @@ class TransientAnalyzer:
     # ------------------------------------------------------------------ helpers
     def _check_state(
         self,
-        simulator: SpvpSimulator,
+        state: SpvpState,
         converged: bool,
         depth: int,
         properties: Sequence[TransientProperty],
         result: TransientAnalysisResult,
     ) -> bool:
         """Check every property on one state; returns True when the search should stop."""
+        forwarding = TransientForwarding.from_best_paths(state.best_map())
+        for prop in properties:
+            message = prop.check(forwarding, converged)
+            if message is None:
+                continue
+            result.violations.append(
+                TransientViolation(
+                    property_name=prop.name,
+                    message=message,
+                    depth=depth,
+                    converged=converged,
+                    witness=tuple(
+                        event.describe() for event in state.witness_events()
+                    ),
+                )
+            )
+            if self.stop_at_first_violation:
+                return True
+        return False
+
+
+class NaiveTransientAnalyzer(TransientAnalyzer):
+    """The pre-refactor exploration: deepcopy a simulator per successor.
+
+    Kept as the oracle the equivalence tests and the throughput benchmark
+    compare :class:`TransientAnalyzer` against: it explores over the mutable
+    :class:`ReferenceSpvpSimulator`, cloning the whole simulator (best,
+    rib-ins, buffers *and* event history) with ``copy.deepcopy`` for every
+    successor and keying the visited set on a full (best, rib-in, buffers)
+    signature tuple.  Budget accounting matches the incremental analyzer so
+    the two produce bit-identical :class:`TransientAnalysisResult`s.
+    """
+
+    def analyze(
+        self, properties: Sequence[TransientProperty]
+    ) -> TransientAnalysisResult:
+        if not properties:
+            raise ValueError("at least one transient property is required")
+        started = time.perf_counter()
+        result = TransientAnalysisResult()
+
+        root = ReferenceSpvpSimulator(self.instance, seed=0)
+        visited: Set[Tuple] = {self._signature(root)}
+        frontier: Deque[Tuple[ReferenceSpvpSimulator, int]] = deque([(root, 0)])
+
+        while frontier:
+            simulator, depth = frontier.popleft()
+            result.states_explored += 1
+            result.max_depth_reached = max(result.max_depth_reached, depth)
+            converged = simulator.is_converged()
+            if converged:
+                result.converged_states += 1
+                if self.collect_converged:
+                    result.converged_rpvp_states.append(simulator.converged_state())
+
+            stop = self._check_simulator(simulator, converged, depth, properties, result)
+            if stop:
+                break
+
+            if converged or depth >= self.max_depth:
+                continue
+
+            for channel in simulator.pending_messages():
+                successor = copy.deepcopy(simulator)
+                successor.step(channel)
+                signature = self._signature(successor)
+                if signature in visited:
+                    continue
+                if len(visited) >= self.max_states:
+                    result.truncated = True
+                    break
+                visited.add(signature)
+                frontier.append((successor, depth + 1))
+
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _check_simulator(
+        self,
+        simulator: ReferenceSpvpSimulator,
+        converged: bool,
+        depth: int,
+        properties: Sequence[TransientProperty],
+        result: TransientAnalysisResult,
+    ) -> bool:
         forwarding = TransientForwarding.from_best_paths(simulator.best)
         for prop in properties:
             message = prop.check(forwarding, converged)
@@ -169,7 +294,7 @@ class TransientAnalyzer:
         return False
 
     @staticmethod
-    def _signature(simulator: SpvpSimulator) -> Tuple:
+    def _signature(simulator: ReferenceSpvpSimulator) -> Tuple:
         """A hashable signature of the SPVP state (best, rib-in, buffers)."""
         best = tuple(sorted(
             (node, route.path if route is not None else None)

@@ -1,0 +1,111 @@
+"""Property tests for the incremental ``decisions_are_stable`` fast path.
+
+``BgpDeterminism.unstable_nodes`` caches per-node stability verdicts on the
+state and re-evaluates only the transitioned node and its reverse peers when
+deriving a child from a cached parent (or nearest cached ancestor).  These
+tests pin that fast path against the naive all-nodes scan — the pre-refactor
+``decisions_are_stable`` loop — node-for-node, across random RPVP walks over
+a real BGP instance, for every cache situation the explorer produces:
+child-of-cached-parent, sparse calls (cached ancestor several transitions
+up), and fresh states with no parent chain at all.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ebgp_rfc7938
+from repro.core.determinism import BgpDeterminism
+from repro.core.network_model import DependencyContext, PecExplorer
+from repro.core.options import PlanktonOptions
+from repro.pec.classes import compute_pecs
+from repro.protocols.rpvp import RpvpState, initial_state, rpvp_successors
+from repro.topology import bgp_fat_tree
+from repro.topology.failures import FailureScenario
+
+_CACHED = {}
+
+
+def _bgp_instance():
+    """One real BGP instance (fat-tree k=4, RFC 7938 eBGP), built once."""
+    if "instance" not in _CACHED:
+        network = ebgp_rfc7938(bgp_fat_tree(4))
+        pec = next(pec for pec in compute_pecs(network) if pec.has_bgp())
+        explorer = PecExplorer(
+            network,
+            pec,
+            FailureScenario(),
+            PlanktonOptions(),
+            dependency_context=DependencyContext(),
+        )
+        prefix = next(prefix for prefix, devices in pec.bgp_origins if devices)
+        _CACHED["instance"] = explorer.bgp_instance(prefix)
+    return _CACHED["instance"]
+
+
+def _oracle_unstable(analyzer, state):
+    """The naive scan: the original decisions_are_stable loop, node-for-node."""
+    unstable = set()
+    for node, route in state.items():
+        if route is None:
+            continue
+        future = analyzer._best_future_rank(node, state)
+        if future is not None and future < analyzer.instance.cached_rank(node, route):
+            unstable.add(node)
+    return frozenset(unstable)
+
+
+def _walk(instance, picks):
+    """The RPVP states along one random successor walk (including the root)."""
+    state = initial_state(instance)
+    states = [state]
+    for pick in picks:
+        successors = rpvp_successors(instance, state)
+        if not successors:
+            break
+        _transition, state = successors[pick % len(successors)]
+        states.append(state)
+    return states
+
+
+picks = st.lists(st.integers(min_value=0, max_value=1_000_000), min_size=0, max_size=25)
+
+
+class TestIncrementalStabilityAgainstScan:
+    @given(picks=picks)
+    @settings(max_examples=30, deadline=None)
+    def test_cached_parent_derivation_matches_scan(self, picks):
+        """Evaluating every state along a walk exercises the one-delta path."""
+        instance = _bgp_instance()
+        analyzer = BgpDeterminism(instance)
+        for state in _walk(instance, picks):
+            fast = analyzer.unstable_nodes(state)
+            oracle = _oracle_unstable(analyzer, state)
+            assert fast == oracle
+            assert analyzer.decisions_are_stable(state) == (not oracle)
+
+    @given(picks=picks, stride=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_calls_accumulate_ancestor_deltas(self, picks, stride):
+        """Calling only every ``stride``-th state forces the chain walk to
+        collect several deltas back to the nearest cached ancestor."""
+        instance = _bgp_instance()
+        analyzer = BgpDeterminism(instance)
+        for index, state in enumerate(_walk(instance, picks)):
+            if index % stride:
+                continue
+            assert analyzer.unstable_nodes(state) == _oracle_unstable(analyzer, state)
+
+    @given(picks=picks)
+    @settings(max_examples=20, deadline=None)
+    def test_fresh_states_without_parents_match_scan(self, picks):
+        """States rebuilt from dicts (no parent chain) take the full-scan path
+        and agree with a cached evaluation of the equal walked state."""
+        instance = _bgp_instance()
+        analyzer = BgpDeterminism(instance)
+        states = _walk(instance, picks)
+        final = states[-1]
+        for state in states:  # populate caches along the chain
+            analyzer.unstable_nodes(state)
+        fresh = RpvpState.from_dict(final.as_dict())
+        assert fresh.parent is None
+        assert analyzer.unstable_nodes(fresh) == analyzer.unstable_nodes(final)
+        assert analyzer.unstable_nodes(fresh) == _oracle_unstable(analyzer, fresh)

@@ -1,0 +1,180 @@
+"""Property tests for the persistent SPVP state representation.
+
+The persistent :class:`SpvpState` + stateless :class:`SpvpStepper` pair
+promises to be *observationally identical* to the naive dict/deque simulator
+it replaced (`ReferenceSpvpSimulator`, kept verbatim for exactly this
+purpose): same best routes, rib-ins, buffer contents, pending channels and
+events for every delivery order, with the incremental multi-slot Zobrist
+fingerprint equal to a from-scratch fold over the full state.  These tests
+pin that promise against the naive oracle across random gadget topologies
+and random delivery schedules, mirroring ``test_state_representation.py``
+for the RPVP side.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modelcheck.hashing import StateInterner, ZobristFingerprinter
+from repro.protocols.spvp import ReferenceSpvpSimulator, SpvpSimulator, SpvpStepper
+
+from tests.test_rpvp_spvp import GadgetInstance, bad_gadget, disagree_gadget, good_gadget
+
+
+def _simple_paths(edge_map, start, limit=12):
+    """All simple paths from ``start`` to the origin ``o`` (as preference tuples)."""
+    results = []
+
+    def dfs(node, trail):
+        if len(results) >= limit:
+            return
+        if node == "o":
+            results.append(tuple(trail))
+            return
+        for peer in edge_map[node]:
+            if peer not in trail and peer != start:
+                dfs(peer, trail + (peer,))
+
+    for peer in edge_map[start]:
+        dfs(peer, (peer,))
+    return results
+
+
+@st.composite
+def spvp_scenarios(draw):
+    """A random connected gadget plus a random delivery schedule."""
+    extra = draw(st.integers(min_value=2, max_value=4))
+    nodes = ["o"] + [f"n{i}" for i in range(extra)]
+    edges = {node: set() for node in nodes}
+    # A random spanning tree keeps every node connected to the origin...
+    for index in range(1, len(nodes)):
+        anchor = nodes[draw(st.integers(min_value=0, max_value=index - 1))]
+        edges[nodes[index]].add(anchor)
+        edges[anchor].add(nodes[index])
+    # ... plus random extra sessions for alternative paths.
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if nodes[j] not in edges[nodes[i]] and draw(st.booleans()):
+                edges[nodes[i]].add(nodes[j])
+                edges[nodes[j]].add(nodes[i])
+    edge_map = {node: tuple(sorted(peers)) for node, peers in edges.items()}
+    preferences = {}
+    for node in nodes:
+        if node == "o":
+            continue
+        paths = _simple_paths(edge_map, node)
+        if not paths:
+            continue
+        ordered = draw(st.permutations(paths))
+        keep = draw(st.integers(min_value=0, max_value=len(ordered)))
+        preferences[node] = list(ordered[:keep])
+    schedule = draw(
+        st.lists(st.integers(min_value=0, max_value=1_000_000), min_size=0, max_size=40)
+    )
+    return edge_map, preferences, schedule
+
+
+def _assert_state_matches_reference(stepper, state, reference, hasher):
+    """One lockstep comparison: maps, pending set, fingerprint, equality."""
+    assert state.best_map() == reference.best
+    assert state.rib_in_map() == reference.rib_in
+    assert state.buffer_map() == {
+        channel: tuple(queue) for channel, queue in reference.buffers.items()
+    }
+    assert state.pending_channels() == reference.pending_messages()
+    assert state.is_converged() == reference.is_converged()
+    # A state rebuilt from the reference's plain dicts (no parent chain) is
+    # equal, hashes equal, and folds to the same fingerprint the incremental
+    # XOR chain produced.
+    rebuilt = stepper.state_from_maps(reference.best, reference.rib_in, reference.buffers)
+    assert state == rebuilt and rebuilt == state
+    assert hash(state) == hash(rebuilt)
+    assert state.fingerprint(hasher) == rebuilt.fingerprint(hasher)
+
+
+class TestSpvpStateAgainstReference:
+    @given(scenario=spvp_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_step_fingerprint_equality_match_naive_reference(self, scenario):
+        edge_map, preferences, schedule = scenario
+        instance = GadgetInstance("o", edge_map, preferences)
+        stepper = SpvpStepper(instance)
+        reference = ReferenceSpvpSimulator(instance, seed=0)
+        hasher = ZobristFingerprinter(StateInterner())
+
+        state = stepper.initial_state()
+        _assert_state_matches_reference(stepper, state, reference, hasher)
+        for pick in schedule:
+            pending = state.pending_channels()
+            if not pending:
+                break
+            channel = pending[pick % len(pending)]
+            event, state = stepper.deliver(state, channel)
+            assert event == reference.step(channel)
+            _assert_state_matches_reference(stepper, state, reference, hasher)
+
+    @given(scenario=spvp_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_branching_shares_structure_without_interference(self, scenario):
+        """Deriving several successors of one state never mutates the parent."""
+        edge_map, preferences, schedule = scenario
+        instance = GadgetInstance("o", edge_map, preferences)
+        stepper = SpvpStepper(instance)
+        state = stepper.initial_state()
+        for pick in schedule[:5]:
+            pending = state.pending_channels()
+            if not pending:
+                break
+            _event, state = stepper.deliver(state, pending[pick % len(pending)])
+        pending = state.pending_channels()
+        if len(pending) < 2:
+            return
+        before = (state.best_map(), state.rib_in_map(), state.buffer_map())
+        children = [stepper.deliver(state, channel)[1] for channel in pending]
+        assert (state.best_map(), state.rib_in_map(), state.buffer_map()) == before
+        # Each child drained exactly its own channel relative to the parent.
+        for channel, child in zip(pending, children):
+            assert child.buffer_of(channel) == state.buffer_of(channel)[1:]
+            assert child.parent is state
+            assert child.event is not None and child.event.peer == channel[0]
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_seeded_simulator_replays_reference_runs(self, seed):
+        """The wrapper simulator picks the same interleavings as the naive one."""
+        wrapper = SpvpSimulator(good_gadget(), seed=seed)
+        reference = ReferenceSpvpSimulator(good_gadget(), seed=seed)
+        assert wrapper.run() == reference.run()
+        assert [e.describe() for e in wrapper.history] == [
+            e.describe() for e in reference.history
+        ]
+        assert wrapper.steps == reference.steps
+
+    def test_seeded_simulator_agrees_on_disagree_outcomes(self):
+        """On DISAGREE (two stable states) every seed lands on the same state
+        in both implementations — the channel enumeration order is preserved."""
+        for seed in range(8):
+            wrapper = SpvpSimulator(disagree_gadget(), seed=seed)
+            reference = ReferenceSpvpSimulator(disagree_gadget(), seed=seed)
+            try:
+                expected = reference.run(max_steps=5_000)
+            except Exception:
+                continue  # that ordering oscillates; legal SPVP
+            assert wrapper.run(max_steps=5_000) == expected
+
+    def test_fail_session_matches_reference(self):
+        wrapper = SpvpSimulator(good_gadget(), seed=3)
+        reference = ReferenceSpvpSimulator(good_gadget(), seed=3)
+        wrapper.run()
+        reference.run()
+        wrapper.fail_session("o", "a")
+        reference.fail_session("o", "a")
+        assert wrapper.buffers == {
+            channel: tuple(queue) for channel, queue in reference.buffers.items()
+        }
+        assert wrapper.pending_messages() == reference.pending_messages()
+
+    def test_divergent_configuration_still_raises(self):
+        from repro.exceptions import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            SpvpSimulator(bad_gadget(), seed=1).run(max_steps=500)

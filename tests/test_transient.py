@@ -8,6 +8,7 @@ from repro.protocols.base import EPSILON, Path, Route
 from repro.topology import bgp_fat_tree
 from repro.transient import (
     AlwaysReaches,
+    NaiveTransientAnalyzer,
     TransientAnalyzer,
     TransientBlackHoleFreedom,
     TransientForwarding,
@@ -15,7 +16,12 @@ from repro.transient import (
     analyze_pec_transients,
 )
 
-from tests.test_rpvp_spvp import bad_gadget, disagree_gadget, good_gadget
+from tests.test_rpvp_spvp import (
+    bad_gadget,
+    disagree_gadget,
+    explore_all_converged,
+    good_gadget,
+)
 
 
 # --------------------------------------------------------------------------- forwarding relation
@@ -150,6 +156,103 @@ class TestTransientAnalyzer:
         text = result.summary()
         assert "HOLDS" in text
         assert str(result.states_explored) in text
+
+
+# --------------------------------------------------------------------------- cross-model equivalence
+def _converged_signatures(states):
+    """Hashable per-node best-path signatures of a set of RpvpStates."""
+    return {
+        tuple(sorted(
+            (node, route.path if route is not None else None)
+            for node, route in state.as_dict().items()
+        ))
+        for state in states
+    }
+
+
+class TestCrossModelEquivalence:
+    """Theorem 1, checked experimentally: the rebuilt SPVP exploration finds
+    exactly the converged states the RPVP search finds, and its statistics
+    are bit-identical to the pre-refactor deepcopy exploration."""
+
+    GADGETS = {
+        "good": (good_gadget, dict(max_states=20_000, max_depth=64)),
+        "disagree": (disagree_gadget, dict(max_states=400, max_depth=12)),
+        "bad": (bad_gadget, dict(max_states=300, max_depth=20)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GADGETS))
+    def test_spvp_converged_set_matches_rpvp_search(self, name):
+        factory, budget = self.GADGETS[name]
+        result = TransientAnalyzer(
+            factory(),
+            stop_at_first_violation=False,
+            collect_converged=True,
+            **budget,
+        ).analyze([TransientLoopFreedom(ignore_converged=True)])
+        rpvp_states, _stats = explore_all_converged(factory())
+        assert _converged_signatures(result.converged_rpvp_states) == _converged_signatures(
+            rpvp_states
+        )
+        if name == "bad":
+            assert result.converged_states == 0  # BAD GADGET has no stable state
+
+    @pytest.mark.parametrize("name", sorted(GADGETS))
+    def test_statistics_bit_identical_to_deepcopy_exploration(self, name):
+        factory, budget = self.GADGETS[name]
+        properties = [TransientLoopFreedom(ignore_converged=True)]
+        fast = TransientAnalyzer(
+            factory(), stop_at_first_violation=False, collect_converged=True, **budget
+        ).analyze(properties)
+        naive = NaiveTransientAnalyzer(
+            factory(), stop_at_first_violation=False, collect_converged=True, **budget
+        ).analyze(properties)
+        assert fast.stats_signature() == naive.stats_signature()
+        assert fast.converged_rpvp_states == naive.converged_rpvp_states
+
+    def test_first_violation_witness_identical_to_deepcopy_exploration(self):
+        """With stop-at-first-violation the two explorations report the same
+        violating state via the same event sequence (BFS order preserved)."""
+        fast = TransientAnalyzer(disagree_gadget()).analyze(
+            [TransientLoopFreedom(ignore_converged=True)]
+        )
+        naive = NaiveTransientAnalyzer(disagree_gadget()).analyze(
+            [TransientLoopFreedom(ignore_converged=True)]
+        )
+        assert fast.stats_signature() == naive.stats_signature()
+        assert fast.violations[0].witness == naive.violations[0].witness
+
+
+# --------------------------------------------------------------------------- budget accounting
+class TestStateBudgetAccounting:
+    """A state counts against ``max_states`` exactly once — when it is first
+    admitted to the visited set — no matter how many interleavings rediscover
+    it on other branches (the pre-refactor explorer mixed two counters)."""
+
+    def test_states_explored_pinned_on_good_gadget(self):
+        # GOOD GADGET's bounded-depth SPVP state space: 57 unique states, one
+        # of them converged.  Many interleavings are confluent, so any double
+        # counting of rediscovered states would inflate this number.
+        result = TransientAnalyzer(good_gadget(), stop_at_first_violation=False).analyze(
+            [TransientLoopFreedom(ignore_converged=True)]
+        )
+        assert result.states_explored == 57
+        assert result.converged_states == 1
+        assert not result.truncated
+
+    def test_truncated_budget_is_exact(self):
+        result = TransientAnalyzer(
+            good_gadget(), max_states=30, stop_at_first_violation=False
+        ).analyze([TransientLoopFreedom(ignore_converged=True)])
+        assert result.truncated
+        assert result.states_explored == 30
+
+    def test_budget_no_smaller_than_state_space_never_truncates(self):
+        result = TransientAnalyzer(
+            good_gadget(), max_states=57, stop_at_first_violation=False
+        ).analyze([TransientLoopFreedom(ignore_converged=True)])
+        assert result.states_explored == 57
+        assert not result.truncated
 
 
 # --------------------------------------------------------------------------- network-level API

@@ -1,19 +1,29 @@
-"""Transient-exploration throughput: persistent SPVP vs the deepcopy baseline.
+"""Transient-exploration throughput: persistent SPVP vs the deepcopy baseline,
+and the partial-order reduction vs the unreduced exploration.
 
 The transient extension explores SPVP message interleavings (see
-`repro/transient/`).  The persistent :class:`SpvpState` rebuild replaced the
-per-successor ``copy.deepcopy`` + full-state signature hashing with derived
-child states and incremental Zobrist fingerprints; this module measures that
-on a fig7a-style workload — the fat-tree (k=4) eBGP instance the Figure 7(a)
-family scales over — and records states/second alongside the explorer
-benchmark in ``BENCH_explorer.json`` (emitted by the non-gating CI bench
-job).
+`repro/transient/`).  Two generations of speedups are measured here on a
+fig7a-style workload — the fat-tree (k=4) eBGP instance the Figure 7(a)
+family scales over:
 
-The gating test here only asserts *equivalence*: the incremental exploration
-produces bit-identical statistics to the deepcopy baseline.  The throughput
-row (with its >=5x speedup floor) lives in ``test_bench_transient_json``,
+* the persistent :class:`SpvpState` rebuild (PR 3) replaced the
+  per-successor ``copy.deepcopy`` + full-state signature hashing with derived
+  child states and incremental Zobrist fingerprints (``transient_fig7a_k4``
+  row, states/second vs the deepcopy baseline);
+* the partial-order reduction (`repro.modelcheck.por`) explores one
+  representative per equivalence class of commuting deliveries
+  (``transient_fig7a_k4_por`` row, states explored vs ``por="full"`` over
+  the *complete* depth-8 interleaving slice — which the reduced search
+  finishes un-truncated at a fraction of the states).
+
+The gating tests assert *equivalence* (the incremental exploration is
+bit-identical to the deepcopy baseline in ``por="full"`` mode) and the
+*reduction floor* (the ample/sleep reduction explores >=5x fewer states at
+identical verdicts on a smaller slice of the same workload).  The throughput
+rows live in ``test_bench_transient_json`` / ``test_bench_transient_por_json``,
 which the gating matrix deselects the same way it deselects the explorer
-throughput row.
+throughput row; the non-gating CI bench job runs them and merges both rows
+into ``BENCH_explorer.json`` via ``benchmarks/conftest.py::merge_bench_rows``.
 """
 
 from repro.config import ebgp_rfc7938
@@ -43,15 +53,20 @@ def _fig7a_style_instance():
     return explorer.bgp_instance(prefix)
 
 
-def _explore(analyzer_cls, instance, max_states):
+def _explore(analyzer_cls, instance, max_states, max_depth=8, por="full"):
     analyzer = analyzer_cls(
-        instance, max_states=max_states, max_depth=8, stop_at_first_violation=False
+        instance,
+        max_states=max_states,
+        max_depth=max_depth,
+        stop_at_first_violation=False,
+        por=por,
     )
     return analyzer.analyze([TransientLoopFreedom(ignore_converged=True)])
 
 
 def test_transient_explorer_matches_deepcopy_baseline(reporter):
-    """Gating: incremental and deepcopy explorations are bit-identical."""
+    """Gating: incremental (por="full") and deepcopy explorations are
+    bit-identical."""
     instance = _fig7a_style_instance()
     fast = _explore(TransientAnalyzer, instance, 150)
     naive = _explore(NaiveTransientAnalyzer, instance, 150)
@@ -63,8 +78,33 @@ def test_transient_explorer_matches_deepcopy_baseline(reporter):
     )
 
 
+def test_transient_por_reduction_floor(reporter):
+    """Gating: the ample/sleep reduction explores >=5x fewer states than the
+    unreduced search over a complete interleaving slice, at identical
+    verdicts (depth 6 keeps this cheap enough for the gating matrix; the
+    bench row measures the full fig7a depth-8 slice)."""
+    instance = _fig7a_style_instance()
+    budget = 500_000  # large enough that neither search truncates
+    reduced = _explore(TransientAnalyzer, instance, budget, max_depth=6, por="ample")
+    full = _explore(TransientAnalyzer, instance, budget, max_depth=6, por="full")
+    assert not reduced.truncated and not full.truncated
+    assert reduced.holds == full.holds
+    ratio = full.states_explored / max(reduced.states_explored, 1)
+    reporter(
+        "transient",
+        f"por: {reduced.states_explored} vs {full.states_explored} states "
+        f"({ratio:.1f}x) on the depth-6 slice, identical verdicts",
+    )
+    assert ratio >= 5.0
+
+
 def test_bench_transient_json(reporter, bench_json):
-    """Emit the transient-exploration throughput row (non-gating bench job)."""
+    """Emit the transient-exploration throughput row (non-gating bench job).
+
+    ``por="full"`` keeps this row comparable PR-over-PR: it measures the raw
+    per-state cost of the persistent representation against the deepcopy
+    baseline at the historic 500-state budget.
+    """
     instance = _fig7a_style_instance()
     budget = 500
     fast = _explore(TransientAnalyzer, instance, budget)
@@ -77,7 +117,7 @@ def test_bench_transient_json(reporter, bench_json):
     row = {
         "workload": (
             "transient SPVP exploration, fat-tree k=4 eBGP instance "
-            f"(20 devices), loop property, {budget} states / depth 8"
+            f"(20 devices), loop property, {budget} states / depth 8, por=full"
         ),
         "states_explored": fast.states_explored,
         "converged_states": fast.converged_states,
@@ -99,3 +139,49 @@ def test_bench_transient_json(reporter, bench_json):
     )
     # The acceptance floor for the rebuild; actual margin is far larger.
     assert speedup >= 5.0
+
+
+def test_bench_transient_por_json(reporter, bench_json):
+    """Emit the partial-order-reduction row (non-gating bench job).
+
+    Both searches run the *complete* depth-8 interleaving slice of the fig7a
+    workload — the slice the historic 500-state budget always truncated —
+    and the row records the states-explored reduction ratio of ``por="ample"``
+    against the unreduced ``por="full"`` exploration.
+    """
+    instance = _fig7a_style_instance()
+    budget = 500_000  # large enough that neither search truncates
+    reduced = _explore(TransientAnalyzer, instance, budget, por="ample")
+    full = _explore(TransientAnalyzer, instance, budget, por="full")
+    assert not reduced.truncated and not full.truncated
+    assert reduced.holds == full.holds
+    ratio = full.states_explored / max(reduced.states_explored, 1)
+    rate = reduced.states_explored / max(reduced.elapsed_seconds, 1e-9)
+    stats = reduced.reduction
+    row = {
+        "workload": (
+            "transient SPVP exploration with partial-order reduction, "
+            "fat-tree k=4 eBGP instance (20 devices), loop property, "
+            "complete depth-8 slice, por=ample vs por=full"
+        ),
+        "states_explored": reduced.states_explored,
+        "full_states_explored": full.states_explored,
+        "state_reduction_ratio": round(ratio, 1),
+        "truncated": reduced.truncated,
+        "converged_states": reduced.converged_states,
+        "violations": len(reduced.violations),
+        "elapsed_seconds": round(reduced.elapsed_seconds, 4),
+        "full_elapsed_seconds": round(full.elapsed_seconds, 4),
+        "states_per_second": round(rate, 1),
+        "transitions_slept": stats.transitions_slept,
+        "transition_reduction_ratio": round(stats.transition_reduction_ratio(), 2),
+    }
+    bench_json({"transient_fig7a_k4_por": row})
+    reporter(
+        "bench",
+        f"transient_fig7a_k4_por: {reduced.states_explored} vs "
+        f"{full.states_explored} states ({ratio:.1f}x reduction), "
+        f"complete depth-8 slice un-truncated, identical verdicts",
+    )
+    # The acceptance floor for the reduction; actual margin is ~8x.
+    assert ratio >= 5.0

@@ -362,23 +362,12 @@ def independence_groups(
     connected components of the peer graph restricted to undecided nodes; two
     enabled nodes in different components are independent, so exploring them
     in a single fixed order (component by component) is sufficient.
+
+    The partition itself lives with the rest of the partial-order-reduction
+    machinery (:func:`repro.modelcheck.por.node_independence_groups`); this
+    wrapper binds it to the RPVP notion of "undecided" (best path still ⊥).
     """
+    from repro.modelcheck.por import node_independence_groups
+
     undecided = {node for node, route in state.items() if route is None}
-    component_of: Dict[str, int] = {}
-    current = 0
-    for start in sorted(undecided):
-        if start in component_of:
-            continue
-        stack = [start]
-        component_of[start] = current
-        while stack:
-            node = stack.pop()
-            for peer in instance.peers(node):
-                if peer in undecided and peer not in component_of:
-                    component_of[peer] = current
-                    stack.append(peer)
-        current += 1
-    groups: Dict[int, List[str]] = {}
-    for node in enabled:
-        groups.setdefault(component_of.get(node, -1), []).append(node)
-    return [sorted(members) for _key, members in sorted(groups.items())]
+    return node_independence_groups(instance.peers, undecided, enabled)

@@ -20,6 +20,7 @@ from repro.modelcheck.explorer import (
     Explorer,
     ExplorerOptions,
 )
+from repro.modelcheck.por import ReductionStatistics
 from repro.netaddr import Prefix
 from repro.core.determinism import (
     BgpDeterminism,
@@ -143,7 +144,10 @@ class PecExplorer:
         self.policy_sources = list(policy_sources) if policy_sources else None
         self.dependencies = dependency_context or DependencyContext()
         self.ospf = ospf_computation or OspfComputation(network)
-        self.statistics = ExplorationStatistics()
+        #: One shared §4-reduction ledger for every per-prefix search of this
+        #: PEC run (the successor pipeline records enabled-vs-expanded there).
+        self.reduction = ReductionStatistics(mode="rpvp")
+        self.statistics = ExplorationStatistics(reduction=self.reduction)
 
     # ------------------------------------------------------------------ protocol instances
     def _failed_links(self) -> Set[int]:
@@ -390,6 +394,7 @@ class PecExplorer:
             check_terminal=None,
             canonicalize=None,
             options=self._explorer_options(),
+            reduction=self.reduction,
         )
         holder.append(explorer)
         explorer.canonicalize = self._make_canonicalizer(holder)
@@ -510,22 +515,34 @@ class PecExplorer:
     ) -> Callable[[RpvpState], List[Tuple[object, RpvpState]]]:
         flags = self.flags
         sources = self.policy_sources
+        reduction = self.reduction
         if flags.consistent_execution and engine is None:
             engine = CandidateEngine(instance)
 
         def successors(state: RpvpState) -> List[Tuple[object, RpvpState]]:
             if not flags.consistent_execution:
-                return rpvp_successors(instance, state)
+                expansion = rpvp_successors(instance, state)
+                if expansion:
+                    reduction.observe_expansion(
+                        enabled=len(expansion), expanded=len(expansion), reduced=False
+                    )
+                return expansion
 
             # The candidate sets are maintained incrementally: a state derived
             # from its parent by one node's decision re-evaluates only that
             # node and its peers (see repro.core.successors).
             cache = engine.candidates(state)
 
+            enabled_count = sum(len(updates) for updates in cache.updates.values())
+
             # Consistent executions only: a node that has selected a path never
             # changes it, so if any decided node could still be improved the
             # execution cannot lead to a converged state — abandon it.
             if cache.decided_pending:
+                if enabled_count:
+                    reduction.observe_expansion(
+                        enabled=enabled_count, expanded=0, reduced=True
+                    )
                 return []
 
             # Policy-based pruning: once every source node has decided, the
@@ -541,6 +558,10 @@ class PecExplorer:
                     or analyzer.decisions_are_stable(state)
                 )
             ):
+                if enabled_count:
+                    reduction.observe_expansion(
+                        enabled=enabled_count, expanded=0, reduced=True
+                    )
                 return []
 
             candidates_of = cache.updates
@@ -550,6 +571,11 @@ class PecExplorer:
             if analyzer is not None and use_for_determinism:
                 decision = self._decide(analyzer, state, candidates_of)
                 if decision.kind in ("deterministic", "tied") and decision.node is not None:
+                    reduction.observe_expansion(
+                        enabled=enabled_count,
+                        expanded=len(decision.candidates),
+                        reduced=len(decision.candidates) < enabled_count,
+                    )
                     return [
                         (
                             RpvpTransition(node=decision.node, new_route=route, from_peer=peer),
@@ -573,6 +599,11 @@ class PecExplorer:
                             state.with_best(node, route),
                         )
                     )
+            reduction.observe_expansion(
+                enabled=enabled_count,
+                expanded=len(result),
+                reduced=len(result) < enabled_count,
+            )
             return result
 
         return successors

@@ -24,7 +24,13 @@ from repro.engine.backends import (
     SerialBackend,
     select_backend,
 )
-from repro.engine.graph import TaskGraph, TaskResult, TaskSpec, build_task_graph
+from repro.engine.graph import (
+    TaskGraph,
+    TaskResult,
+    TaskSpec,
+    build_task_graph,
+    build_transient_task_graph,
+)
 from repro.engine.worker import execute_task, network_fingerprint
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "TaskResult",
     "TaskSpec",
     "build_task_graph",
+    "build_transient_task_graph",
     "execute_task",
     "network_fingerprint",
     "select_backend",

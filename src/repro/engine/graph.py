@@ -25,7 +25,7 @@ before them).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.options import PlanktonOptions
 from repro.core.scheduler import dependency_closure, restrict_schedule
@@ -56,6 +56,11 @@ class TaskSpec:
             converged data planes.
         depends_on: Ids of the tasks whose converged data planes this task
             needs (always smaller than ``task_id``).
+        kind: What the task computes: ``"verify"`` (converged-state policy
+            checking, the default) or ``"transient"`` (SPVP interleaving
+            exploration of the PEC's BGP prefixes under the failure).
+        transient: The picklable per-task payload of a transient task
+            (a :class:`repro.transient.explorer.TransientTaskConfig`).
     """
 
     task_id: int
@@ -64,6 +69,8 @@ class TaskSpec:
     check_policies: bool = True
     collect_outcomes: bool = False
     depends_on: Tuple[int, ...] = ()
+    kind: str = "verify"
+    transient: Optional[object] = None
 
 
 @dataclass
@@ -254,3 +261,41 @@ def _expand_dependent(
                 )
                 graph.tasks.append(task)
                 created[index] = task.task_id
+
+
+# --------------------------------------------------------------------------- transient campaigns
+def build_transient_task_graph(
+    network,
+    pec: PacketEquivalenceClass,
+    options: PlanktonOptions,
+    transient,
+    failures: Optional[Sequence[FailureScenario]] = None,
+) -> TaskGraph:
+    """Expand a transient campaign into one task per (PEC, failure scenario).
+
+    ``transient`` is the picklable per-task payload
+    (:class:`repro.transient.explorer.TransientTaskConfig`).  Scenarios come
+    from ``failures`` when given, otherwise from the same §4.1.4/§4.3
+    enumeration-plus-LEC reduction converged-state verification uses.
+    Transient tasks are edge-free (an SPVP exploration consumes no upstream
+    data planes), so every backend runs them fully concurrently with
+    cross-worker early cancellation.
+    """
+    graph = TaskGraph()
+    scenarios = (
+        list(failures)
+        if failures is not None
+        else failure_scenarios_for_pec(network, pec, (), options)
+    )
+    graph.failure_scenarios = len(scenarios)
+    for failure in scenarios:
+        graph.tasks.append(
+            TaskSpec(
+                task_id=len(graph.tasks),
+                pec_index=pec.index,
+                failure=failure,
+                kind="transient",
+                transient=transient,
+            )
+        )
+    return graph

@@ -132,8 +132,18 @@ def execute_task(
     outcomes (usually a single combination).  ``should_cancel`` is polled
     between combinations so a cross-worker stop request takes effect without
     waiting for the whole task.
+
+    Transient tasks (``spec.kind == "transient"``) carry their own payload
+    and run the SPVP interleaving exploration instead of the converged-state
+    policy check; everything else about scheduling, pooling and cancellation
+    is shared.
     """
     from repro.core.network_model import DependencyContext
+
+    if spec.kind == "transient":
+        from repro.transient.explorer import execute_transient_task
+
+        return execute_transient_task(plankton, spec, should_cancel=should_cancel)
 
     pec = plankton.pec_by_index(spec.pec_index)
     check_policies = list(policies) if spec.check_policies else []

@@ -67,6 +67,9 @@ class ExplorationStatistics:
     interner_entries: int = 0
     interner_bytes: int = 0
     truncated: bool = False
+    #: The partial-order-reduction ledger of the search, when the successor
+    #: pipeline recorded one (a :class:`repro.modelcheck.por.ReductionStatistics`).
+    reduction: Optional[object] = None
 
     @property
     def approximate_memory_bytes(self) -> int:
@@ -101,6 +104,7 @@ class Explorer(Generic[State]):
         canonicalize: Optional[Callable[[State], Hashable]] = None,
         options: Optional[ExplorerOptions] = None,
         trail_factory: Optional[Callable[[], Trail]] = None,
+        reduction: Optional[object] = None,
     ) -> None:
         self.successors = successors
         self.check_terminal = check_terminal
@@ -108,6 +112,11 @@ class Explorer(Generic[State]):
         self.options = options or ExplorerOptions()
         self.trail_factory = trail_factory or (lambda: Trail(policy="", pec_description=""))
         self.interner = StateInterner()
+        #: Shared reduction ledger: the engine itself only ever sees the
+        #: already-reduced successor lists, so the successor function owns
+        #: the enabled-vs-expanded accounting; the explorer's job is to
+        #: surface the ledger on the statistics it reports.
+        self.reduction = reduction
 
     # ------------------------------------------------------------------ search
     def run(self, initial_state: State, collect_converged: bool = False) -> SearchOutcome[State]:
@@ -120,7 +129,7 @@ class Explorer(Generic[State]):
                 outcomes of this one (paper §3.2), and by tests.
         """
         options = self.options
-        stats = ExplorationStatistics()
+        stats = ExplorationStatistics(reduction=self.reduction)
         bitstate = (
             BitstateFilter(bits=options.bitstate_bits, hash_count=options.bitstate_hashes)
             if options.use_bitstate

@@ -1,0 +1,42 @@
+"""Partial-order reduction over interleaved transitions (paper §4).
+
+Plankton's headline scalability comes from exploring one representative per
+equivalence class of commuting transitions instead of every interleaving.
+This subpackage is the reusable home of that machinery:
+
+* :mod:`~repro.modelcheck.por.independence` — which transitions commute
+  (SPVP channel deliveries; the RPVP decision-independence partition);
+* :mod:`~repro.modelcheck.por.ample` — per-state ample-set selection with
+  the C0–C3 provisos for the SPVP transient exploration;
+* :mod:`~repro.modelcheck.por.sleep` — sleep sets killing the commuting
+  permutations ample sets miss, with the state-matching requeue rule;
+* :mod:`~repro.modelcheck.por.stats` — the reduction ledger surfaced
+  through exploration results and the benchmark rows.
+
+The transient explorer (:mod:`repro.transient.explorer`) wires these behind
+``TransientOptions.por``; the RPVP verifier pipeline shares the statistics
+ledger and the independence partition.
+"""
+
+from repro.modelcheck.por.ample import AmpleChoice, AmpleSelector
+from repro.modelcheck.por.independence import (
+    ChannelIndependence,
+    node_independence_groups,
+)
+from repro.modelcheck.por.sleep import (
+    EMPTY_SLEEP,
+    merged_sleep_for_requeue,
+    successor_sleep,
+)
+from repro.modelcheck.por.stats import ReductionStatistics
+
+__all__ = [
+    "AmpleChoice",
+    "AmpleSelector",
+    "ChannelIndependence",
+    "node_independence_groups",
+    "EMPTY_SLEEP",
+    "merged_sleep_for_requeue",
+    "successor_sleep",
+    "ReductionStatistics",
+]

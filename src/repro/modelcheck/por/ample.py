@@ -1,0 +1,181 @@
+"""Ample-set selection for the SPVP transient exploration (paper §4, POR).
+
+At each state the explorer may expand a subset of the pending deliveries —
+an *ample set* — instead of all of them, provided the classic provisos hold
+(Clarke/Grumberg/Peled; Godefroid's persistent sets):
+
+* **C0** the ample set is empty only when nothing is enabled;
+* **C1** no transition *dependent* on an ample member can fire, in the full
+  graph, before an ample member fires;
+* **C2** a proper-subset ample set contains only *invisible* transitions
+  (deliveries that do not change the forwarding relation the transient
+  properties read);
+* **C3** no cycle of the reduced graph consists solely of states expanded
+  with a proper subset (the "ignoring" proviso).
+
+The selector picks per-receiver ample sets: the candidate set for receiver
+``d`` is *all* of ``d``'s enabled in-deliveries.  Same-receiver deliveries
+are the only dependent pairs (:class:`~repro.modelcheck.por.independence.
+ChannelIndependence`), so C1 reduces to: no currently-*empty* in-channel of
+``d`` may receive a message before the ample fires.  A node only sends when
+its best path changes, so this is established with one per-state fixpoint:
+
+    ``Active`` = the least set containing every receiver with a *dangerous*
+    queued message (one that could change its best path) and closed under
+    "an active node's out-peers are active" (an active node may re-advertise
+    arbitrary routes to everyone it can message).
+
+A receiver ``d ∉ Active`` has a frozen best path in the entire future cone
+of the state: every message already queued to it is harmless against a best
+path that never changes, and no new message can arrive because every node
+with a channel into ``d`` would itself be active.  That gives all four
+provisos at once — C1 as above, C2 because harmless deliveries never change
+a best path (they are invisible to the forwarding relation), and C3 because
+an invisible delivery triggers no re-advertisement, so every reduced step
+strictly decreases the total number of queued messages and no cycle can
+consist of reduced expansions.  The explorer still re-checks C2 on the
+actual successors and widens to the full set if a delivery surprises it
+(``proviso_fallbacks`` in the statistics) — the danger analysis is an
+over-approximation, so this is a defensive belt, not a correctness crutch.
+
+The danger test mirrors the SPVP selection rule exactly (including the
+Appendix A tie-break that keeps the incumbent): a queued message for ``d``
+via ``p`` is *harmless* when its import equals ``d``'s current best (it
+rewrites a holder slot with the same route), or it neither outranks the
+current best, nor withdraws/overwrites the rib-in slot currently backing it,
+nor gives a routeless ``d`` its first route.  Harmlessness is stable under
+other harmless deliveries: they only ever add holder slots for the incumbent
+or rewrite non-holder slots with routes that do not outrank it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.modelcheck.por.independence import ChannelIndependence
+from repro.protocols.spvp import Channel, SpvpState, space_for
+
+
+@dataclass(frozen=True)
+class AmpleChoice:
+    """One selection: the channels to expand and whether that is a reduction."""
+
+    channels: Tuple[Channel, ...]
+    #: True when the selection is a proper subset of the enabled deliveries
+    #: (the expansion must then uphold the visibility proviso).
+    reduced: bool
+    #: The receiver whose in-deliveries form the ample set (None = full).
+    receiver: Optional[str] = None
+
+
+class AmpleSelector:
+    """Per-state ample-set selection over one SPVP instance."""
+
+    def __init__(self, instance, independence: Optional[ChannelIndependence] = None) -> None:
+        self.instance = instance
+        self.space = space_for(instance)
+        self.independence = independence or ChannelIndependence(instance)
+        #: Nodes whose best path provably never changes, no matter what is
+        #: delivered.  Every advertised path ends at an origin, so with a
+        #: single origin every advertisement reaching it is loop-rejected
+        #: (the stepper's ``path.contains(receiver)`` check) — its best stays
+        #: the origin route forever.  Such nodes never re-advertise, so the
+        #: activity closure neither seeds at them nor propagates into them.
+        origins = tuple(instance.origins())
+        self.frozen_nodes = frozenset(origins) if len(origins) == 1 else frozenset()
+
+    # ------------------------------------------------------------------ danger analysis
+    def _message_is_dangerous(
+        self,
+        state: SpvpState,
+        receiver: str,
+        sender: str,
+        message,
+        best,
+    ) -> bool:
+        """Whether delivering ``message`` could change ``receiver``'s best path."""
+        instance = self.instance
+        imported = (
+            None
+            if message is None
+            else instance.cached_import(receiver, sender, message)
+        )
+        if imported is not None and imported.path.contains(receiver):
+            imported = None
+        if best is None:
+            # A routeless receiver acquires a best path from any accepted route.
+            return imported is not None
+        if imported == best:
+            # Rewrites (or re-establishes) a holder slot with the incumbent.
+            return False
+        if state.rib_in_of(receiver, sender) == best:
+            # Withdraws or overwrites a rib-in slot backing the incumbent.
+            return True
+        if imported is None:
+            # Withdrawal of a non-backing rib-in entry: the incumbent stays.
+            return False
+        return instance.cached_rank(receiver, imported) < instance.cached_rank(receiver, best)
+
+    def active_nodes(self, state: SpvpState, pending: Sequence[Channel]) -> Set[str]:
+        """Nodes whose best path might still change in this state's future.
+
+        Seeds: receivers with a dangerous queued message.  Closure: an active
+        node may re-advertise, so everything it can message is active too.
+        """
+        frozen = self.frozen_nodes
+        dangerous: Set[str] = set()
+        best_cache: Dict[str, object] = {}
+        for sender, receiver in pending:
+            if receiver in dangerous or receiver in frozen:
+                continue
+            best = best_cache.get(receiver)
+            if receiver not in best_cache:
+                best = state.best_of(receiver)
+                best_cache[receiver] = best
+            for message in state.buffer_of((sender, receiver)):
+                if self._message_is_dangerous(state, receiver, sender, message, best):
+                    dangerous.add(receiver)
+                    break
+        active = set(dangerous)
+        stack = list(dangerous)
+        out_peers = self.independence.out_peers
+        while stack:
+            node = stack.pop()
+            for peer in out_peers.get(node, ()):
+                if peer not in active and peer not in frozen:
+                    active.add(peer)
+                    stack.append(peer)
+        return active
+
+    # ------------------------------------------------------------------ selection
+    def select(self, state: SpvpState, enabled: Sequence[Channel]) -> AmpleChoice:
+        """Pick an ample set for ``state`` (``enabled`` in canonical order).
+
+        Preference order: the valid receiver with the fewest enabled
+        in-deliveries (singletons first — maximal reduction), ties broken by
+        slot order so the exploration stays deterministic.  When no receiver
+        passes the provisos the full enabled set is returned.
+        """
+        if len(enabled) <= 1:
+            return AmpleChoice(tuple(enabled), reduced=False)
+        by_receiver: Dict[str, List[Channel]] = {}
+        for channel in enabled:
+            by_receiver.setdefault(channel[1], []).append(channel)
+        if len(by_receiver) == 1:
+            return AmpleChoice(tuple(enabled), reduced=False)
+        active = self.active_nodes(state, enabled)
+        best_slot = self.space.best_slot
+        choice: Optional[Tuple[Tuple[int, int], str]] = None
+        for receiver, group in by_receiver.items():
+            if receiver in active:
+                continue
+            key = (len(group), best_slot[receiver])
+            if choice is None or key < choice[0]:
+                choice = (key, receiver)
+        if choice is None:
+            return AmpleChoice(tuple(enabled), reduced=False)
+        receiver = choice[1]
+        return AmpleChoice(
+            tuple(by_receiver[receiver]), reduced=True, receiver=receiver
+        )

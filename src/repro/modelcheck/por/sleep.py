@@ -1,0 +1,63 @@
+"""Sleep sets for the SPVP transient exploration (Godefroid).
+
+Ample sets prune *states*; sleep sets prune the *commuting permutations*
+ample sets miss.  Each frontier entry carries a sleep set: deliveries whose
+interleaving with everything executed here is already covered by a sibling
+branch.  When a state expands transitions ``t1 .. tk`` in order, the
+successor via ``ti`` inherits
+
+    ``{ t in sleep(state) ∪ {t1 .. t(i-1)} : independent(t, ti) }``
+
+— the earlier siblings (and the inherited sleepers) that commute with
+``ti`` need not be re-executed after it, because executing them *before*
+``ti`` reaches the same states.  Transitions found in the sleep set are
+skipped at expansion time.
+
+Combining sleep sets with a visited set needs one extra rule to stay sound
+(state matching can otherwise lose states): a state re-reached with a sleep
+set that is *not a superset* of the one it was first explored with may have
+fresh outgoing behaviour, so it is re-queued for expansion with the
+intersection of the two sleep sets.  Such re-expansions never re-count the
+state (the budget and the property checks see every state exactly once);
+with the rule in place sleep sets prune transitions, not reachable states.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence
+
+from repro.modelcheck.por.independence import ChannelIndependence
+from repro.protocols.spvp import Channel
+
+#: The empty sleep set (shared; sleep sets are small frozensets).
+EMPTY_SLEEP: FrozenSet[Channel] = frozenset()
+
+
+def successor_sleep(
+    independence: ChannelIndependence,
+    sleep: FrozenSet[Channel],
+    executed_before: Sequence[Channel],
+    transition: Channel,
+) -> FrozenSet[Channel]:
+    """The sleep set of the successor reached via ``transition``."""
+    independent = independence.independent
+    keep = [channel for channel in sleep if independent(channel, transition)]
+    keep.extend(
+        channel for channel in executed_before if independent(channel, transition)
+    )
+    return frozenset(keep) if keep else EMPTY_SLEEP
+
+
+def merged_sleep_for_requeue(
+    stored: FrozenSet[Channel], reached_with: FrozenSet[Channel]
+) -> Optional[FrozenSet[Channel]]:
+    """The sleep set to re-expand a revisited state with, or None to skip.
+
+    ``None`` means ``reached_with`` is subsumed: everything this visit would
+    explore was (or will be) explored by the first visit.  Otherwise the
+    intersection is the weakest sleep set covering both visits, and the
+    state must be re-queued with it (the state-matching soundness rule).
+    """
+    if reached_with >= stored:
+        return None
+    return stored & reached_with

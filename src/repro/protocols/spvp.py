@@ -90,6 +90,8 @@ class _SpvpSpace:
         "channel_slot",
         "rib_slots_of",
         "out_slots_of",
+        "in_peers",
+        "out_peers",
         "buffer_base",
         "total_slots",
     )
@@ -133,6 +135,19 @@ class _SpvpSpace:
             )
             for node in self.nodes
         }
+        #: Channel adjacency, in canonical slot order: who each node can
+        #: message (``out_peers``) and be messaged by (``in_peers``).  The
+        #: partial-order-reduction machinery reasons over these.
+        self.out_peers: Dict[str, Tuple[str, ...]] = {
+            node: tuple(peer for peer, _channel, _slot in self.out_slots_of[node])
+            for node in self.nodes
+        }
+        in_peers: Dict[str, List[str]] = {node: [] for node in self.nodes}
+        for sender, receiver in self.channels:
+            in_peers[receiver].append(sender)
+        self.in_peers: Dict[str, Tuple[str, ...]] = {
+            node: tuple(senders) for node, senders in in_peers.items()
+        }
 
 
 def _space_for(instance: PathVectorInstance) -> _SpvpSpace:
@@ -142,6 +157,11 @@ def _space_for(instance: PathVectorInstance) -> _SpvpSpace:
         space = _SpvpSpace(instance)
         instance._spvp_space = space  # type: ignore[attr-defined]
     return space
+
+
+#: Public name for the memoised slot layout: the partial-order-reduction
+#: subsystem (repro.modelcheck.por) derives its channel adjacency from it.
+space_for = _space_for
 
 
 class SpvpState:
@@ -523,6 +543,26 @@ class SpvpStepper:
             if instance.cached_rank(node, current) == instance.cached_rank(node, best):
                 return current
         return best
+
+    def drain(self, state: SpvpState, max_steps: int = 100_000) -> SpvpState:
+        """Deliver pending messages in canonical (slot) order until converged.
+
+        One deterministic execution — the first pending channel is always
+        delivered next — so every caller (steady-state construction before a
+        perturbation, oracle comparisons) reaches the same fixed point.
+        Raises :class:`ProtocolError` after ``max_steps`` deliveries
+        (divergent configurations).
+        """
+        steps = 0
+        while not state.is_converged():
+            if steps >= max_steps:
+                raise ProtocolError(
+                    f"SPVP did not converge within {max_steps} steps for "
+                    f"{self.instance.name} (possibly a divergent configuration)"
+                )
+            _event, state = self.deliver(state, state.pending_channels()[0])
+            steps += 1
+        return state
 
     def fail_session(self, state: SpvpState, a: str, b: str) -> SpvpState:
         """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers.

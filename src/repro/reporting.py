@@ -57,6 +57,9 @@ def pec_run_to_dict(run: PecRunResult) -> Dict[str, object]:
     if run.statistics is not None:
         document["states_expanded"] = run.statistics.states_expanded
         document["unique_states"] = run.statistics.unique_states
+        reduction = getattr(run.statistics, "reduction", None)
+        if reduction is not None:
+            document["reduction"] = reduction.as_dict()
     return document
 
 
@@ -129,6 +132,104 @@ def render_markdown(result: VerificationResult, title: Optional[str] = None) -> 
             lines.append("")
     else:
         lines.append("No violations were found in any explored converged state.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- transient reports
+def transient_result_to_dict(result) -> Dict[str, object]:
+    """The JSON-serialisable form of one transient exploration result
+    (:class:`repro.transient.TransientAnalysisResult`)."""
+    document: Dict[str, object] = {
+        "holds": result.holds,
+        "states_explored": result.states_explored,
+        "converged_states": result.converged_states,
+        "max_depth_reached": result.max_depth_reached,
+        "truncated": result.truncated,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "violations": [
+            {
+                "property": violation.property_name,
+                "message": violation.message,
+                "depth": violation.depth,
+                "converged": violation.converged,
+                "witness": list(violation.witness),
+            }
+            for violation in result.violations
+        ],
+    }
+    if result.reduction is not None:
+        document["reduction"] = result.reduction.as_dict()
+    return document
+
+
+def transient_campaign_to_dict(campaign) -> Dict[str, object]:
+    """The JSON-serialisable form of a transient campaign
+    (:class:`repro.transient.TransientCampaignResult`)."""
+    return {
+        "holds": campaign.holds,
+        "failure_scenarios": campaign.failure_scenarios,
+        "elapsed_seconds": round(campaign.elapsed_seconds, 6),
+        "runs": [
+            {
+                "pec_index": run.pec_index,
+                "failed_links": list(run.failure.failed_links),
+                "prefix": run.prefix,
+                "result": transient_result_to_dict(run.result),
+            }
+            for run in campaign.runs
+        ],
+    }
+
+
+def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
+    """A transient campaign as a Markdown report.
+
+    One row per (failure scenario, prefix) run — verdict, states explored,
+    converged states, whether the budget truncated the search, and the POR
+    transition-reduction ratio — followed by the rendered violations.
+    """
+    lines: List[str] = []
+    lines.append(f"# {title or 'Transient analysis report'}")
+    lines.append("")
+    verdict = (
+        "**HOLDS**"
+        if campaign.holds
+        else f"**VIOLATED** ({len(campaign.violations)} violation(s))"
+    )
+    lines.append(f"Transient properties: {verdict}")
+    lines.append(f"Failure scenarios: {campaign.failure_scenarios}")
+    lines.append("")
+    lines.append("| failures | prefix | verdict | states | converged | truncated | reduction |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for run in campaign.runs:
+        failures = ", ".join(str(link) for link in run.failure.failed_links) or "none"
+        result = run.result
+        reduction = (
+            f"{result.reduction.transition_reduction_ratio():.1f}x "
+            f"({result.reduction.mode})"
+            if result.reduction is not None
+            else "-"
+        )
+        lines.append(
+            f"| {failures} | `{run.prefix}` | "
+            f"{'HOLDS' if result.holds else 'VIOLATED'} | "
+            f"{result.states_explored} | {result.converged_states} | "
+            f"{'yes' if result.truncated else 'no'} | {reduction} |"
+        )
+    lines.append("")
+    if campaign.violations:
+        lines.append("## Violations")
+        lines.append("")
+        for number, violation in enumerate(campaign.violations, start=1):
+            lines.append(f"### {number}. {violation.property_name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(violation.render())
+            lines.append("```")
+            lines.append("")
+    else:
+        lines.append("No transient violations were found in any explored state.")
         lines.append("")
     return "\n".join(lines)
 

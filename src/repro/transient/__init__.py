@@ -9,11 +9,19 @@ interleavings, checking transient properties in every reachable state.
 """
 
 from repro.transient.explorer import (
+    Converge,
+    FailSession,
     NaiveTransientAnalyzer,
+    POR_MODES,
     TransientAnalysisResult,
     TransientAnalyzer,
+    TransientCampaignResult,
+    TransientCampaignRun,
+    TransientOptions,
+    TransientTaskConfig,
     TransientViolation,
     analyze_pec_transients,
+    analyze_pec_transients_over_failures,
 )
 from repro.transient.properties import (
     AlwaysReaches,
@@ -24,11 +32,19 @@ from repro.transient.properties import (
 )
 
 __all__ = [
+    "Converge",
+    "FailSession",
     "NaiveTransientAnalyzer",
+    "POR_MODES",
     "TransientAnalyzer",
     "TransientAnalysisResult",
+    "TransientCampaignResult",
+    "TransientCampaignRun",
+    "TransientOptions",
+    "TransientTaskConfig",
     "TransientViolation",
     "analyze_pec_transients",
+    "analyze_pec_transients_over_failures",
     "TransientProperty",
     "TransientForwarding",
     "TransientLoopFreedom",

@@ -12,6 +12,24 @@ rib-ins and message buffers), bounded by a state budget and a depth budget so
 divergent configurations (BAD GADGET) terminate with a truncation flag rather
 than running forever.
 
+Most interleavings are equivalent — they differ only in the order of
+commuting deliveries — so the search applies partial-order reduction
+(:mod:`repro.modelcheck.por`): per-state *ample sets* expand a provably
+sufficient subset of the pending channels, and *sleep sets* threaded through
+the BFS frontier kill the commuting permutations the ample sets miss.  The
+reduction is controlled by :attr:`TransientOptions.por` (``"ample"`` —
+ample + sleep, the default; ``"sleep"`` — sleep sets only; ``"full"`` — no
+reduction, the oracle the property tests compare against).  On a *complete*
+search (no state-budget truncation, no depth-bound pruning) reduced runs
+preserve the violation verdict of every transient property and the exact
+set of converged (deadlocked) states; what they skip is redundant
+interleavings, tallied in :class:`~repro.modelcheck.por.ReductionStatistics`.
+Bounded searches are approximate in every mode, and the reduction may reach
+a given state through a different — possibly deeper — interleaving prefix,
+so two *truncated* runs are not state-for-state comparable (a violation
+sitting exactly at the depth bound can fall just past it under reduction);
+``ReductionStatistics.depth_pruned`` reports whether the bound bit.
+
 The per-state step is incremental, mirroring the RPVP explorer's treatment:
 successors are derived :class:`repro.protocols.spvp.SpvpState` children
 (structural sharing, no ``copy.deepcopy`` of the simulator), the visited-set
@@ -26,6 +44,15 @@ State-budget accounting is deduplicated: a state counts against
 ``max_states`` exactly once — when it is first admitted to the visited set —
 no matter how many branches rediscover it, and ``truncated`` is set only when
 a genuinely new state had to be dropped.
+
+Explorations can start from a *perturbed* root instead of the cold-start
+initial state: ``analyze(properties, initial_events=...)`` applies a
+sequence of initial events — :class:`Converge` (drain to a steady state
+along one canonical execution) and :class:`FailSession` (a session flap
+losing the queued messages and delivering a withdrawal to both peers, the
+Appendix A failure event) — which is how withdrawal/flap transients are
+explored: converge first, flap a session, then explore every re-convergence
+interleaving.
 """
 
 from __future__ import annotations
@@ -34,16 +61,120 @@ import copy
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.config.objects import NetworkConfig
+from repro.exceptions import ProtocolError
 from repro.modelcheck.hashing import StateInterner, ZobristFingerprinter
+from repro.modelcheck.por import (
+    AmpleSelector,
+    ChannelIndependence,
+    EMPTY_SLEEP,
+    ReductionStatistics,
+    merged_sleep_for_requeue,
+    successor_sleep,
+)
 from repro.pec.classes import PacketEquivalenceClass
-from repro.protocols.base import PathVectorInstance, Route
+from repro.protocols.base import PathVectorInstance
 from repro.protocols.rpvp import RpvpState
-from repro.protocols.spvp import ReferenceSpvpSimulator, SpvpState, SpvpStepper
+from repro.protocols.spvp import (
+    Channel,
+    ReferenceSpvpSimulator,
+    SpvpState,
+    SpvpStepper,
+)
 from repro.topology.failures import FailureScenario
 from repro.transient.properties import TransientForwarding, TransientProperty
+
+#: Accepted values of :attr:`TransientOptions.por`.
+POR_MODES = ("ample", "sleep", "full")
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Tuning knobs of one transient exploration.
+
+    ``por`` selects the partial-order reduction: ``"ample"`` (ample sets +
+    sleep sets, the default), ``"sleep"`` (sleep sets only — prunes
+    redundant transitions but visits every state), or ``"full"`` (no
+    reduction — the oracle mode the equivalence tests pin against).
+    """
+
+    max_states: int = 20_000
+    max_depth: int = 64
+    stop_at_first_violation: bool = True
+    collect_converged: bool = False
+    por: str = "ample"
+
+    def __post_init__(self) -> None:
+        if self.por not in POR_MODES:
+            raise ValueError(f"unknown POR mode {self.por!r}; choose from {POR_MODES}")
+
+
+# --------------------------------------------------------------------------- initial events
+@dataclass(frozen=True)
+class FailSession:
+    """Initial event: flap the session between ``a`` and ``b`` (Appendix A).
+
+    Queued messages on the session are lost and each peer sees a withdrawal
+    — the root of every withdrawal/flap transient exploration.
+    """
+
+    a: str
+    b: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.fail_session(state, self.a, self.b)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.fail_session(self.a, self.b)
+
+    def describe(self) -> str:
+        return f"fail-session {self.a}<->{self.b}"
+
+
+@dataclass(frozen=True)
+class Converge:
+    """Initial event: drain all buffers along one canonical execution.
+
+    Always delivers the first pending channel (slot order; see
+    :meth:`SpvpStepper.drain`), so the fast and the naive explorations start
+    their perturbed searches from the same steady state.  Raises
+    :class:`ProtocolError` when the instance does not converge within
+    ``max_steps`` (divergent configurations).
+    """
+
+    max_steps: int = 100_000
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.drain(state, max_steps=self.max_steps)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        # The reference simulator is deliberately kept independent of the
+        # persistent core, so the drain is mirrored here; the lockstep flap
+        # property test pins the two against each other (including the
+        # divergence ProtocolError).
+        steps = 0
+        while not simulator.is_converged():
+            if steps >= self.max_steps:
+                raise ProtocolError(
+                    f"SPVP did not converge within {self.max_steps} steps for "
+                    f"{simulator.instance.name} (possibly a divergent configuration)"
+                )
+            simulator.step(simulator.pending_messages()[0])
+            steps += 1
+
+    def describe(self) -> str:
+        return "converge (canonical delivery order)"
+
+
+def _apply_initial_event(stepper: SpvpStepper, state: SpvpState, event) -> SpvpState:
+    """Apply one initial event to a persistent state (duck-typed hook)."""
+    if hasattr(event, "apply"):
+        return event.apply(stepper, state)
+    if callable(event):
+        return event(stepper, state)
+    raise TypeError(f"initial event {event!r} has no apply(stepper, state) hook")
 
 
 @dataclass(frozen=True)
@@ -83,6 +214,8 @@ class TransientAnalysisResult:
     #: Converged best-path assignments, populated when the analyzer was built
     #: with ``collect_converged=True`` (the Theorem 1 cross-model check).
     converged_rpvp_states: List[RpvpState] = field(default_factory=list)
+    #: What the partial-order reduction did (None for the naive oracle).
+    reduction: Optional[ReductionStatistics] = None
 
     @property
     def holds(self) -> bool:
@@ -91,18 +224,35 @@ class TransientAnalysisResult:
 
     def summary(self) -> str:
         verdict = "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
-        suffix = " [truncated: state budget reached]" if self.truncated else ""
+        reduction = ""
+        if self.reduction is not None and self.reduction.mode != "full":
+            reduction = (
+                f", por {self.reduction.mode} "
+                f"({self.reduction.transition_reduction_ratio():.1f}x transition reduction)"
+            )
         return (
             f"transient analysis: {verdict}; {self.states_explored} state(s), "
             f"{self.converged_states} converged, max depth {self.max_depth_reached}, "
-            f"{self.elapsed_seconds:.3f}s{suffix}"
+            f"truncated: {'yes (state budget reached)' if self.truncated else 'no'}, "
+            f"{self.elapsed_seconds:.3f}s{reduction}"
         )
+
+    def render(self) -> str:
+        """Multi-line report: summary, reduction ledger, violations."""
+        lines = [self.summary()]
+        if self.reduction is not None:
+            lines.append(self.reduction.describe())
+        for violation in self.violations:
+            lines.append("")
+            lines.append(violation.render())
+        return "\n".join(lines)
 
     def stats_signature(self) -> Tuple:
         """Everything observable about the exploration except wall-clock time.
 
         Used by the equivalence tests to assert the incremental and the naive
-        explorations are bit-identical.
+        explorations are bit-identical.  (The reduction ledger is excluded:
+        it describes *how* the search ran, not what it observed.)
         """
         return (
             self.states_explored,
@@ -112,6 +262,29 @@ class TransientAnalysisResult:
             tuple(
                 (v.property_name, v.message, v.depth, v.converged, v.witness)
                 for v in self.violations
+            ),
+        )
+
+    def verdict_signature(self) -> Tuple:
+        """What every sound reduction must preserve: the per-property verdict
+        and the set of converged best-path assignments.
+
+        Unlike :meth:`stats_signature` this is comparable across POR modes:
+        reduced runs explore fewer states and may reach a violating state
+        through a different (shorter or permuted) witness, but they must
+        agree on *which properties* are violated and on the converged
+        states (the SPVP deadlocks, which ample sets provably preserve).
+        """
+        return (
+            tuple(sorted({v.property_name for v in self.violations})),
+            frozenset(
+                tuple(
+                    sorted(
+                        (node, route.path if route is not None else None)
+                        for node, route in state.as_dict().items()
+                    )
+                )
+                for state in self.converged_rpvp_states
             ),
         )
 
@@ -126,56 +299,166 @@ class TransientAnalyzer:
         max_depth: int = 64,
         stop_at_first_violation: bool = True,
         collect_converged: bool = False,
+        por: str = "ample",
+        options: Optional[TransientOptions] = None,
     ) -> None:
+        if options is None:
+            options = TransientOptions(
+                max_states=max_states,
+                max_depth=max_depth,
+                stop_at_first_violation=stop_at_first_violation,
+                collect_converged=collect_converged,
+                por=por,
+            )
+        else:
+            overridden = {
+                name: value
+                for name, value in (
+                    ("max_states", max_states),
+                    ("max_depth", max_depth),
+                    ("stop_at_first_violation", stop_at_first_violation),
+                    ("collect_converged", collect_converged),
+                    ("por", por),
+                )
+                if value != TransientOptions.__dataclass_fields__[name].default
+            }
+            if overridden:
+                raise ValueError(
+                    "pass either individual keyword arguments or options=, "
+                    f"not both (got options= and {sorted(overridden)})"
+                )
         self.instance = instance
-        self.max_states = max_states
-        self.max_depth = max_depth
-        self.stop_at_first_violation = stop_at_first_violation
-        self.collect_converged = collect_converged
+        self.options = options
+        self.max_states = options.max_states
+        self.max_depth = options.max_depth
+        self.stop_at_first_violation = options.stop_at_first_violation
+        self.collect_converged = options.collect_converged
+        self.por = options.por
 
     # ------------------------------------------------------------------ exploration
     def analyze(
-        self, properties: Sequence[TransientProperty]
+        self,
+        properties: Sequence[TransientProperty],
+        initial_events: Sequence[object] = (),
     ) -> TransientAnalysisResult:
-        """Explore reachable SPVP states and check ``properties`` on each."""
+        """Explore reachable SPVP states and check ``properties`` on each.
+
+        ``initial_events`` perturb the root before the search starts (e.g.
+        ``[Converge(), FailSession("a", "b")]`` explores the transients of a
+        session flap out of a steady state).
+        """
         if not properties:
             raise ValueError("at least one transient property is required")
         started = time.perf_counter()
         result = TransientAnalysisResult()
+        reduction = ReductionStatistics(mode=self.por)
+        result.reduction = reduction
 
         stepper = SpvpStepper(self.instance)
         hasher = ZobristFingerprinter(StateInterner())
         root = stepper.initial_state()
-        visited: Set[int] = {root.fingerprint(hasher)}
-        frontier: Deque[Tuple[SpvpState, int]] = deque([(root, 0)])
+        for event in initial_events:
+            root = _apply_initial_event(stepper, root, event)
+
+        use_sleep = self.por in ("ample", "sleep")
+        independence = ChannelIndependence(self.instance) if use_sleep else None
+        selector = (
+            AmpleSelector(self.instance, independence) if self.por == "ample" else None
+        )
+
+        #: fingerprint -> the sleep set the state was admitted/last queued with.
+        visited: Dict[int, FrozenSet[Channel]] = {root.fingerprint(hasher): EMPTY_SLEEP}
+        #: (state, depth, sleep set, fresh).  ``fresh`` is False only for the
+        #: sleep-set requeues of already-counted states.
+        frontier: Deque[Tuple[SpvpState, int, FrozenSet[Channel], bool]] = deque(
+            [(root, 0, EMPTY_SLEEP, True)]
+        )
 
         while frontier:
-            state, depth = frontier.popleft()
-            result.states_explored += 1
-            result.max_depth_reached = max(result.max_depth_reached, depth)
+            state, depth, sleep, fresh = frontier.popleft()
             converged = state.is_converged()
+            if fresh:
+                result.states_explored += 1
+                result.max_depth_reached = max(result.max_depth_reached, depth)
+                if converged:
+                    result.converged_states += 1
+                    if self.collect_converged:
+                        result.converged_rpvp_states.append(state.converged_rpvp())
+                stop = self._check_state(state, converged, depth, properties, result)
+                if stop:
+                    break
+
             if converged:
-                result.converged_states += 1
-                if self.collect_converged:
-                    result.converged_rpvp_states.append(state.converged_rpvp())
-
-            stop = self._check_state(state, converged, depth, properties, result)
-            if stop:
-                break
-
-            if converged or depth >= self.max_depth:
+                continue
+            if depth >= self.max_depth:
+                reduction.depth_pruned += 1
                 continue
 
-            for channel in state.pending_channels():
-                _event, successor = stepper.deliver(state, channel)
-                fingerprint = successor.fingerprint(hasher)
-                if fingerprint in visited:
+            enabled = state.pending_channels()
+            reduced = False
+            if selector is not None:
+                choice = selector.select(state, enabled)
+                expansion: List[Channel] = list(choice.channels)
+                reduced = choice.reduced
+            else:
+                expansion = list(enabled)
+
+            executed: List[Channel] = []
+            expanded_count = 0
+            index = 0
+            while index < len(expansion):
+                channel = expansion[index]
+                index += 1
+                if use_sleep and channel in sleep:
+                    reduction.transitions_slept += 1
                     continue
-                if len(visited) >= self.max_states:
-                    result.truncated = True
-                    break
-                visited.add(fingerprint)
-                frontier.append((successor, depth + 1))
+                _event, successor = stepper.deliver(state, channel)
+                if reduced:
+                    # Visibility proviso (C2), re-checked on the actual
+                    # successor: a reduced expansion may only contain no-op
+                    # deliveries.  The ample analysis guarantees this; if a
+                    # delivery surprises it, widen to the full enabled set
+                    # (sound: the ample channels stay in the expansion).
+                    old_best = state.best_of(channel[1])
+                    new_best = _event.new_best
+                    if (old_best.path if old_best is not None else None) != (
+                        new_best.path if new_best is not None else None
+                    ):
+                        reduced = False
+                        reduction.proviso_fallbacks += 1
+                        present = set(expansion)
+                        expansion.extend(c for c in enabled if c not in present)
+                succ_sleep = (
+                    successor_sleep(independence, sleep, executed, channel)
+                    if use_sleep
+                    else EMPTY_SLEEP
+                )
+                executed.append(channel)
+                expanded_count += 1
+                fingerprint = successor.fingerprint(hasher)
+                stored = visited.get(fingerprint)
+                if stored is None:  # values are frozensets, never None
+                    if len(visited) >= self.max_states:
+                        result.truncated = True
+                        break
+                    visited[fingerprint] = succ_sleep
+                    frontier.append((successor, depth + 1, succ_sleep, True))
+                elif use_sleep:
+                    merged = merged_sleep_for_requeue(stored, succ_sleep)
+                    if merged is not None:
+                        visited[fingerprint] = merged
+                        reduction.sleep_requeues += 1
+                        frontier.append((successor, depth + 1, merged, False))
+            if fresh:
+                reduction.observe_expansion(
+                    enabled=len(enabled), expanded=expanded_count, reduced=reduced
+                )
+            else:
+                # Requeued (sleep-merge) passes count toward the transition
+                # totals — both sides, so the enabled/expanded ratio stays an
+                # honest effort comparison — but never toward the state tallies.
+                reduction.transitions_enabled += len(enabled)
+                reduction.transitions_expanded += expanded_count
 
         result.elapsed_seconds = time.perf_counter() - started
         return result
@@ -219,12 +502,16 @@ class NaiveTransientAnalyzer(TransientAnalyzer):
     :class:`ReferenceSpvpSimulator`, cloning the whole simulator (best,
     rib-ins, buffers *and* event history) with ``copy.deepcopy`` for every
     successor and keying the visited set on a full (best, rib-in, buffers)
-    signature tuple.  Budget accounting matches the incremental analyzer so
-    the two produce bit-identical :class:`TransientAnalysisResult`s.
+    signature tuple.  It never reduces (``full`` semantics regardless of the
+    ``por`` option); budget accounting matches the incremental analyzer so
+    ``por="full"`` runs produce bit-identical
+    :class:`TransientAnalysisResult`s.
     """
 
     def analyze(
-        self, properties: Sequence[TransientProperty]
+        self,
+        properties: Sequence[TransientProperty],
+        initial_events: Sequence[object] = (),
     ) -> TransientAnalysisResult:
         if not properties:
             raise ValueError("at least one transient property is required")
@@ -232,6 +519,13 @@ class NaiveTransientAnalyzer(TransientAnalyzer):
         result = TransientAnalysisResult()
 
         root = ReferenceSpvpSimulator(self.instance, seed=0)
+        for event in initial_events:
+            if hasattr(event, "apply_to_simulator"):
+                event.apply_to_simulator(root)
+            else:
+                raise TypeError(
+                    f"initial event {event!r} has no apply_to_simulator hook"
+                )
         visited: Set[Tuple] = {self._signature(root)}
         frontier: Deque[Tuple[ReferenceSpvpSimulator, int]] = deque([(root, 0)])
 
@@ -314,6 +608,231 @@ class NaiveTransientAnalyzer(TransientAnalyzer):
         return (best, rib_in, buffers)
 
 
+# --------------------------------------------------------------------------- engine routing
+@dataclass(frozen=True)
+class TransientTaskConfig:
+    """The transient payload of one engine :class:`~repro.engine.graph.TaskSpec`.
+
+    Everything a worker needs to run one transient analysis — the properties,
+    the exploration budgets, the POR mode and the initial perturbation — in a
+    picklable bundle, so failure-scenario transient campaigns ride the same
+    pool backends and early cancellation as converged-state verification.
+    """
+
+    properties: Tuple[TransientProperty, ...]
+    options: TransientOptions = field(default_factory=TransientOptions)
+    initial_events: Tuple[object, ...] = ()
+
+
+@dataclass
+class TransientCampaignRun:
+    """One analysed (failure scenario, BGP prefix) pair of a campaign."""
+
+    pec_index: int
+    failure: FailureScenario
+    prefix: str
+    result: TransientAnalysisResult
+
+    @property
+    def violations(self) -> List[TransientViolation]:
+        """The run's violations (the engine's early-stop hook reads this)."""
+        return self.result.violations
+
+
+@dataclass
+class TransientCampaignResult:
+    """All runs of one transient campaign, in task-graph order."""
+
+    runs: List[TransientCampaignRun] = field(default_factory=list)
+    failure_scenarios: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        return all(run.result.holds for run in self.runs)
+
+    @property
+    def violations(self) -> List[TransientViolation]:
+        collected: List[TransientViolation] = []
+        for run in self.runs:
+            collected.extend(run.result.violations)
+        return collected
+
+    def by_failure(self) -> Dict[str, Dict[str, TransientAnalysisResult]]:
+        """Results keyed by failure description, then by prefix."""
+        grouped: Dict[str, Dict[str, TransientAnalysisResult]] = {}
+        for run in self.runs:
+            key = ", ".join(str(link) for link in run.failure.failed_links) or "no failures"
+            grouped.setdefault(key, {})[run.prefix] = run.result
+        return grouped
+
+    def summary(self) -> str:
+        verdict = (
+            "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
+        )
+        states = sum(run.result.states_explored for run in self.runs)
+        truncated = sum(1 for run in self.runs if run.result.truncated)
+        return (
+            f"transient campaign: {verdict}; {len(self.runs)} run(s) over "
+            f"{self.failure_scenarios} failure scenario(s), {states} state(s), "
+            f"{truncated} truncated, {self.elapsed_seconds:.3f}s"
+        )
+
+
+class _TransientAggregator:
+    """Duck-typed engine aggregator for transient campaigns.
+
+    Implements the surface the execution backends drive (``record``,
+    ``upstream_planes``, ``has_result``, ``stop_requested``); transient
+    tasks have no dependency edges, so upstream data planes are empty.
+    """
+
+    def __init__(self, graph, options) -> None:
+        self._graph = graph
+        self._options = options
+        self._runs_by_task: Dict[int, List[TransientCampaignRun]] = {}
+        self.stop_requested = False
+
+    def record(self, result) -> None:
+        self._runs_by_task[result.task_id] = list(result.runs)
+        if result.has_violation and self._options.stop_at_first_violation:
+            self.stop_requested = True
+
+    def upstream_planes(self, spec) -> Dict[int, List]:
+        return {}
+
+    def has_result(self, task_id: int) -> bool:
+        return task_id in self._runs_by_task
+
+    def finalize(self) -> TransientCampaignResult:
+        campaign = TransientCampaignResult(
+            failure_scenarios=self._graph.failure_scenarios
+        )
+        for task in self._graph.tasks:
+            campaign.runs.extend(self._runs_by_task.get(task.task_id, []))
+        return campaign
+
+
+def execute_transient_task(plankton, spec, should_cancel=None):
+    """Run one transient task (the engine worker's ``kind == "transient"`` path).
+
+    Analyses every BGP prefix of the task's PEC under the task's failure
+    scenario; ``should_cancel`` is polled between prefixes so a cross-worker
+    stop request takes effect mid-task.
+    """
+    from repro.core.network_model import DependencyContext, PecExplorer
+    from repro.engine.graph import TaskResult
+
+    config: TransientTaskConfig = spec.transient
+    pec = plankton.pec_by_index(spec.pec_index)
+    result = TaskResult(task_id=spec.task_id)
+    explorer = PecExplorer(
+        plankton.network,
+        pec,
+        spec.failure,
+        plankton.options,
+        dependency_context=DependencyContext(),
+        ospf_computation=plankton.ospf_computation,
+    )
+    for prefix, devices in pec.bgp_origins:
+        if not devices:
+            continue
+        if should_cancel is not None and should_cancel():
+            result.cancelled = True
+            break
+        instance = explorer.bgp_instance(prefix)
+        analyzer = TransientAnalyzer(instance, options=config.options)
+        analysis = analyzer.analyze(
+            config.properties, initial_events=config.initial_events
+        )
+        # Every BGP prefix of the PEC is analysed even after a violation
+        # (each analysis already stops at its own first violation when asked
+        # to): callers get one result per prefix, and stop-at-first only
+        # cancels *other tasks* through the aggregator's stop flag.
+        result.runs.append(
+            TransientCampaignRun(
+                pec_index=pec.index,
+                failure=spec.failure,
+                prefix=str(prefix),
+                result=analysis,
+            )
+        )
+    return result
+
+
+def analyze_pec_transients_over_failures(
+    network: NetworkConfig,
+    pec: PacketEquivalenceClass,
+    properties: Sequence[TransientProperty],
+    options=None,
+    transient: Optional[TransientOptions] = None,
+    failures: Optional[Sequence[FailureScenario]] = None,
+    initial_events: Sequence[object] = (),
+    plankton=None,
+) -> TransientCampaignResult:
+    """Run a transient campaign over failure scenarios through the engine.
+
+    One engine task per (PEC, failure scenario) — the scenarios come from
+    ``failures`` when given, otherwise from the §4.3 Link Equivalence Class
+    reduction under ``options.max_failures`` — executed on the backend the
+    :class:`~repro.core.options.PlanktonOptions` select (serial, or the
+    persistent process pool with cross-worker early cancellation).
+
+    ``transient.stop_at_first_violation`` governs *all* transient stopping:
+    each per-prefix analysis, and the campaign-level cancellation of
+    still-queued failure-scenario tasks (the engine's stop flag is aligned
+    to it, so ``PlanktonOptions.stop_at_first_violation`` — a converged-state
+    verification knob — cannot silently cut an exhaustive campaign short).
+
+    Callers looping over many PECs of one network should pass their own
+    ``plankton`` (a :class:`~repro.core.verifier.Plankton` built for
+    ``network``) so the PEC partition, dependency graph and OSPF computation
+    are built once instead of per call; its options then serve as the
+    campaign options and must already carry the transient stop flag.
+    """
+    import dataclasses
+
+    from repro.core.options import PlanktonOptions
+    from repro.core.verifier import Plankton
+    from repro.engine import EngineContext, select_backend
+    from repro.engine.graph import build_transient_task_graph
+
+    started = time.perf_counter()
+    transient = transient or TransientOptions()
+    if plankton is not None:
+        if options is not None and options is not plankton.options:
+            raise ValueError("pass either plankton= or options=, not both")
+        options = plankton.options
+        if options.stop_at_first_violation != transient.stop_at_first_violation:
+            # A mismatched flag would let the worker-side chunk early-stop
+            # silently drop scenario runs the caller asked for.
+            raise ValueError(
+                "plankton.options.stop_at_first_violation must match "
+                "transient.stop_at_first_violation for a campaign"
+            )
+    else:
+        options = options or PlanktonOptions()
+        if options.stop_at_first_violation != transient.stop_at_first_violation:
+            options = dataclasses.replace(
+                options, stop_at_first_violation=transient.stop_at_first_violation
+            )
+        plankton = Plankton(network, options)
+    config = TransientTaskConfig(
+        properties=tuple(properties),
+        options=transient,
+        initial_events=tuple(initial_events),
+    )
+    graph = build_transient_task_graph(
+        network, plankton.pec_by_index(pec.index), options, config, failures=failures
+    )
+    aggregator = _TransientAggregator(graph, options)
+    backend = select_backend(options, graph)
+    backend.execute(graph, EngineContext(plankton=plankton, policies=[]), aggregator)
+    campaign = aggregator.finalize()
+    campaign.elapsed_seconds = time.perf_counter() - started
+    return campaign
+
+
 def analyze_pec_transients(
     network: NetworkConfig,
     pec: PacketEquivalenceClass,
@@ -321,6 +840,8 @@ def analyze_pec_transients(
     failure: Optional[FailureScenario] = None,
     max_states: int = 20_000,
     max_depth: int = 64,
+    por: str = "ample",
+    initial_events: Sequence[object] = (),
 ) -> Dict[str, TransientAnalysisResult]:
     """Run transient analysis for every BGP prefix of ``pec``.
 
@@ -329,19 +850,17 @@ def analyze_pec_transients(
     deterministic computation, so its transients are not represented in this
     reproduction (the same simplification the paper makes for converged-state
     checking applies here).
-    """
-    from repro.core.network_model import DependencyContext, PecExplorer
-    from repro.core.options import PlanktonOptions
 
-    failure = failure or FailureScenario()
-    explorer = PecExplorer(
-        network, pec, failure, PlanktonOptions(), dependency_context=DependencyContext()
+    This is the single-scenario convenience wrapper around
+    :func:`analyze_pec_transients_over_failures` (and therefore routes
+    through the execution engine like everything else).
+    """
+    campaign = analyze_pec_transients_over_failures(
+        network,
+        pec,
+        properties,
+        transient=TransientOptions(max_states=max_states, max_depth=max_depth, por=por),
+        failures=[failure or FailureScenario()],
+        initial_events=initial_events,
     )
-    results: Dict[str, TransientAnalysisResult] = {}
-    for prefix, devices in pec.bgp_origins:
-        if not devices:
-            continue
-        instance = explorer.bgp_instance(prefix)
-        analyzer = TransientAnalyzer(instance, max_states=max_states, max_depth=max_depth)
-        results[str(prefix)] = analyzer.analyze(properties)
-    return results
+    return {run.prefix: run.result for run in campaign.runs}

@@ -1,0 +1,157 @@
+"""Property-test oracle for the transient partial-order reduction.
+
+The ample/sleep reduction (`repro.modelcheck.por`) promises to preserve, on
+any SPVP instance, (a) the violation verdict of every transient property and
+(b) the exact set of converged (deadlocked) states, while exploring fewer
+interleavings.  These tests pin that promise against the unreduced
+``por="full"`` exploration — itself pinned bit-for-bit against the deepcopy
+:class:`ReferenceSpvpSimulator` oracle by ``tests/test_transient.py`` — over
+random gadget topologies, random preference orders, and random session-flap
+perturbations, mirroring ``test_spvp_state.py``'s oracle style.
+
+Comparisons only run on explorations that completed (no state-budget
+truncation, no depth-bound pruning): a truncated search is approximate in
+both modes, and the reduction legitimately reaches a given state through a
+different — possibly longer — interleaving prefix, so a cut-off search
+cannot be compared state-for-state.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.transient import (
+    Converge,
+    FailSession,
+    NaiveTransientAnalyzer,
+    TransientAnalyzer,
+    TransientBlackHoleFreedom,
+    TransientLoopFreedom,
+)
+
+from tests.test_rpvp_spvp import GadgetInstance
+
+
+def _simple_paths(edge_map, start, limit=12):
+    """All simple paths from ``start`` to the origin ``o`` (preference pool)."""
+    results = []
+
+    def dfs(node, trail):
+        if len(results) >= limit:
+            return
+        if node == "o":
+            results.append(tuple(trail))
+            return
+        for peer in edge_map[node]:
+            if peer not in trail and peer != start:
+                dfs(peer, trail + (peer,))
+
+    for peer in edge_map[start]:
+        dfs(peer, (peer,))
+    return results
+
+
+@st.composite
+def gadget_scenarios(draw):
+    """A random connected gadget, plus one of its sessions (for flap tests)."""
+    extra = draw(st.integers(min_value=2, max_value=4))
+    nodes = ["o"] + [f"n{i}" for i in range(extra)]
+    edges = {node: set() for node in nodes}
+    # A random spanning tree keeps every node connected to the origin...
+    for index in range(1, len(nodes)):
+        anchor = nodes[draw(st.integers(min_value=0, max_value=index - 1))]
+        edges[nodes[index]].add(anchor)
+        edges[anchor].add(nodes[index])
+    # ... plus random extra sessions for alternative paths.
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if nodes[j] not in edges[nodes[i]] and draw(st.booleans()):
+                edges[nodes[i]].add(nodes[j])
+                edges[nodes[j]].add(nodes[i])
+    edge_map = {node: tuple(sorted(peers)) for node, peers in edges.items()}
+    preferences = {}
+    for node in nodes:
+        if node == "o":
+            continue
+        paths = _simple_paths(edge_map, node)
+        if not paths:
+            continue
+        ordered = draw(st.permutations(paths))
+        keep = draw(st.integers(min_value=0, max_value=len(ordered)))
+        preferences[node] = list(ordered[:keep])
+    sessions = sorted(
+        (node, peer) for node in edge_map for peer in edge_map[node] if node < peer
+    )
+    flap = sessions[draw(st.integers(min_value=0, max_value=len(sessions) - 1))]
+    return edge_map, preferences, flap
+
+
+BUDGET = dict(max_states=4_000, max_depth=24, stop_at_first_violation=False)
+
+
+def _properties():
+    return [TransientLoopFreedom(ignore_converged=True), TransientBlackHoleFreedom()]
+
+
+def _explore(instance, por, initial_events=()):
+    analyzer = TransientAnalyzer(instance, collect_converged=True, por=por, **BUDGET)
+    return analyzer.analyze(_properties(), initial_events=initial_events)
+
+
+def _complete(*results):
+    """True when no exploration hit the state budget or the depth bound."""
+    return all(
+        not result.truncated and result.max_depth_reached < BUDGET["max_depth"]
+        for result in results
+    )
+
+
+class TestPorAgainstFullOracle:
+    @given(scenario=gadget_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_reduced_modes_preserve_verdicts_and_converged_sets(self, scenario):
+        edge_map, preferences, _flap = scenario
+        full = _explore(GadgetInstance("o", edge_map, preferences), "full")
+        sleep = _explore(GadgetInstance("o", edge_map, preferences), "sleep")
+        ample = _explore(GadgetInstance("o", edge_map, preferences), "ample")
+        assume(_complete(full, sleep, ample))
+        assert full.verdict_signature() == sleep.verdict_signature()
+        assert full.verdict_signature() == ample.verdict_signature()
+        # Reduction only ever removes redundant interleavings.
+        assert ample.states_explored <= full.states_explored
+        assert sleep.reduction.transitions_expanded <= full.reduction.transitions_expanded
+
+    @given(scenario=gadget_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_reduced_flap_explorations_preserve_verdicts(self, scenario):
+        edge_map, preferences, flap = scenario
+        events = [Converge(max_steps=3_000), FailSession(*flap)]
+        try:
+            full = _explore(GadgetInstance("o", edge_map, preferences), "full", events)
+        except ProtocolError:
+            assume(False)  # divergent configuration: nothing to compare
+        ample = _explore(GadgetInstance("o", edge_map, preferences), "ample", events)
+        assume(_complete(full, ample))
+        assert full.verdict_signature() == ample.verdict_signature()
+
+    @given(scenario=gadget_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_full_flap_exploration_matches_deepcopy_oracle(self, scenario):
+        """The initial-events hook behaves identically on the persistent
+        stepper and on the naive dict/deque simulator."""
+        edge_map, preferences, flap = scenario
+        events = [Converge(max_steps=3_000), FailSession(*flap)]
+        try:
+            fast = _explore(GadgetInstance("o", edge_map, preferences), "full", events)
+        except ProtocolError:
+            with pytest.raises(ProtocolError):
+                NaiveTransientAnalyzer(
+                    GadgetInstance("o", edge_map, preferences),
+                    collect_converged=True,
+                    **BUDGET,
+                ).analyze(_properties(), initial_events=events)
+            return
+        naive = NaiveTransientAnalyzer(
+            GadgetInstance("o", edge_map, preferences), collect_converged=True, **BUDGET
+        ).analyze(_properties(), initial_events=events)
+        assert fast.stats_signature() == naive.stats_signature()

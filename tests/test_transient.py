@@ -3,25 +3,57 @@
 import pytest
 
 from repro.config import ebgp_rfc7938
+from repro.core.options import PlanktonOptions
 from repro.pec.classes import compute_pecs
 from repro.protocols.base import EPSILON, Path, Route
 from repro.topology import bgp_fat_tree
 from repro.transient import (
     AlwaysReaches,
+    Converge,
+    FailSession,
     NaiveTransientAnalyzer,
     TransientAnalyzer,
     TransientBlackHoleFreedom,
     TransientForwarding,
     TransientLoopFreedom,
+    TransientOptions,
     analyze_pec_transients,
+    analyze_pec_transients_over_failures,
 )
 
 from tests.test_rpvp_spvp import (
+    GadgetInstance,
     bad_gadget,
     disagree_gadget,
     explore_all_converged,
     good_gadget,
 )
+
+
+def flap_loop_gadget() -> GadgetInstance:
+    """A gadget whose transient loop only appears after a session flap.
+
+    ``a`` and ``b`` both prefer the direct path through ``m`` and keep the
+    path through each other as a stale rib-in fallback.  Cold-start
+    convergence and every converged state are loop-free; but when the
+    ``o <-> m`` session flaps out of the steady state, the interleaving
+    where *both* ``a`` and ``b`` process ``m``'s withdrawal before each
+    other's re-advertisements leaves ``a -> b`` and ``b -> a``
+    simultaneously — a transient micro-loop steady-state verification
+    cannot see.
+    """
+    edges = {
+        "o": ("m",),
+        "m": ("o", "a", "b"),
+        "a": ("m", "b"),
+        "b": ("m", "a"),
+    }
+    preferences = {
+        "m": [("o",)],
+        "a": [("m", "o"), ("b", "m", "o")],
+        "b": [("m", "o"), ("a", "m", "o")],
+    }
+    return GadgetInstance("o", edges, preferences)
 
 
 # --------------------------------------------------------------------------- forwarding relation
@@ -199,10 +231,17 @@ class TestCrossModelEquivalence:
 
     @pytest.mark.parametrize("name", sorted(GADGETS))
     def test_statistics_bit_identical_to_deepcopy_exploration(self, name):
+        """``por="full"`` pins the unreduced search against the deepcopy
+        oracle bit for bit (reduced modes are compared by verdict instead,
+        in :class:`TestPartialOrderReduction`)."""
         factory, budget = self.GADGETS[name]
         properties = [TransientLoopFreedom(ignore_converged=True)]
         fast = TransientAnalyzer(
-            factory(), stop_at_first_violation=False, collect_converged=True, **budget
+            factory(),
+            stop_at_first_violation=False,
+            collect_converged=True,
+            por="full",
+            **budget,
         ).analyze(properties)
         naive = NaiveTransientAnalyzer(
             factory(), stop_at_first_violation=False, collect_converged=True, **budget
@@ -213,7 +252,7 @@ class TestCrossModelEquivalence:
     def test_first_violation_witness_identical_to_deepcopy_exploration(self):
         """With stop-at-first-violation the two explorations report the same
         violating state via the same event sequence (BFS order preserved)."""
-        fast = TransientAnalyzer(disagree_gadget()).analyze(
+        fast = TransientAnalyzer(disagree_gadget(), por="full").analyze(
             [TransientLoopFreedom(ignore_converged=True)]
         )
         naive = NaiveTransientAnalyzer(disagree_gadget()).analyze(
@@ -227,32 +266,203 @@ class TestCrossModelEquivalence:
 class TestStateBudgetAccounting:
     """A state counts against ``max_states`` exactly once — when it is first
     admitted to the visited set — no matter how many interleavings rediscover
-    it on other branches (the pre-refactor explorer mixed two counters)."""
+    it on other branches (the pre-refactor explorer mixed two counters).
+    Pinned in ``por="full"`` mode; the reduced modes explore fewer states by
+    design and are covered by :class:`TestPartialOrderReduction`."""
 
     def test_states_explored_pinned_on_good_gadget(self):
         # GOOD GADGET's bounded-depth SPVP state space: 57 unique states, one
         # of them converged.  Many interleavings are confluent, so any double
         # counting of rediscovered states would inflate this number.
-        result = TransientAnalyzer(good_gadget(), stop_at_first_violation=False).analyze(
-            [TransientLoopFreedom(ignore_converged=True)]
-        )
+        result = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, por="full"
+        ).analyze([TransientLoopFreedom(ignore_converged=True)])
         assert result.states_explored == 57
         assert result.converged_states == 1
         assert not result.truncated
 
     def test_truncated_budget_is_exact(self):
         result = TransientAnalyzer(
-            good_gadget(), max_states=30, stop_at_first_violation=False
+            good_gadget(), max_states=30, stop_at_first_violation=False, por="full"
         ).analyze([TransientLoopFreedom(ignore_converged=True)])
         assert result.truncated
         assert result.states_explored == 30
 
     def test_budget_no_smaller_than_state_space_never_truncates(self):
         result = TransientAnalyzer(
-            good_gadget(), max_states=57, stop_at_first_violation=False
+            good_gadget(), max_states=57, stop_at_first_violation=False, por="full"
         ).analyze([TransientLoopFreedom(ignore_converged=True)])
         assert result.states_explored == 57
         assert not result.truncated
+
+    def test_reduced_mode_budget_accounting_is_deduplicated_too(self):
+        # Sleep-set requeues re-expand an already-admitted state; they must
+        # never re-count it against the budget or the explored tally.
+        result = TransientAnalyzer(
+            good_gadget(), max_states=57, stop_at_first_violation=False, por="ample"
+        ).analyze([TransientLoopFreedom(ignore_converged=True)])
+        assert result.states_explored < 57  # genuinely reduced
+        assert not result.truncated
+        assert result.converged_states == 1
+
+
+# --------------------------------------------------------------------------- partial-order reduction
+class TestPartialOrderReduction:
+    """The ample/sleep reduction must preserve verdicts and converged states
+    while exploring strictly fewer states (repro.modelcheck.por)."""
+
+    PROPERTIES = staticmethod(lambda: [TransientLoopFreedom(ignore_converged=True)])
+
+    @pytest.mark.parametrize("name", sorted(TestCrossModelEquivalence.GADGETS))
+    def test_verdict_and_converged_sets_match_full_mode(self, name):
+        factory, budget = TestCrossModelEquivalence.GADGETS[name]
+        results = {}
+        for por in ("full", "sleep", "ample"):
+            results[por] = TransientAnalyzer(
+                factory(),
+                stop_at_first_violation=False,
+                collect_converged=True,
+                por=por,
+                **budget,
+            ).analyze(self.PROPERTIES())
+        assert (
+            results["full"].verdict_signature()
+            == results["sleep"].verdict_signature()
+            == results["ample"].verdict_signature()
+        )
+
+    def test_ample_explores_fewer_states_on_good_gadget(self):
+        full = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, collect_converged=True, por="full"
+        ).analyze(self.PROPERTIES())
+        ample = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, collect_converged=True, por="ample"
+        ).analyze(self.PROPERTIES())
+        assert ample.states_explored < full.states_explored
+        assert ample.verdict_signature() == full.verdict_signature()
+        assert ample.reduction is not None
+        assert ample.reduction.mode == "ample"
+        assert ample.reduction.transitions_expanded < ample.reduction.transitions_enabled
+
+    def test_reduced_search_still_finds_first_violation(self):
+        # DISAGREE's transient micro-loop must survive the reduction even
+        # with stop-at-first-violation (the default).
+        for por in ("sleep", "ample"):
+            result = TransientAnalyzer(disagree_gadget(), por=por).analyze(
+                self.PROPERTIES()
+            )
+            assert not result.holds
+            assert result.violations[0].property_name == "transient-loop-freedom"
+
+    def test_full_mode_records_a_noop_ledger(self):
+        result = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, por="full"
+        ).analyze(self.PROPERTIES())
+        assert result.reduction is not None
+        assert result.reduction.mode == "full"
+        assert result.reduction.transitions_slept == 0
+        assert result.reduction.states_reduced == 0
+
+    def test_sleep_mode_prunes_transitions(self):
+        full = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, por="full"
+        ).analyze(self.PROPERTIES())
+        sleep = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, por="sleep"
+        ).analyze(self.PROPERTIES())
+        assert sleep.reduction.transitions_slept > 0
+        assert (
+            sleep.reduction.transitions_expanded < full.reduction.transitions_expanded
+        )
+
+    def test_unknown_por_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            TransientAnalyzer(good_gadget(), por="bogus")
+        with pytest.raises(ValueError):
+            TransientOptions(por="bogus")
+
+    def test_summary_and_render_report_truncation_and_reduction(self):
+        result = TransientAnalyzer(
+            good_gadget(), stop_at_first_violation=False, por="ample"
+        ).analyze(self.PROPERTIES())
+        text = result.summary()
+        assert "truncated: no" in text
+        assert "por ample" in text
+        rendered = result.render()
+        assert "reduction[ample]" in rendered
+        truncated = TransientAnalyzer(
+            good_gadget(), max_states=10, stop_at_first_violation=False, por="full"
+        ).analyze(self.PROPERTIES())
+        assert "truncated: yes (state budget reached)" in truncated.summary()
+
+
+# --------------------------------------------------------------------------- session flaps
+class TestSessionFlapTransients:
+    """The ``initial_events`` hook: withdrawal/session-flap transients
+    explored end to end through ``SpvpStepper.fail_session``."""
+
+    PROPERTIES = staticmethod(lambda: [TransientLoopFreedom(ignore_converged=True)])
+
+    def test_cold_start_and_steady_state_are_loop_free(self):
+        # Without the flap there is no transient loop anywhere: not during
+        # cold-start convergence, not in any converged state.
+        result = TransientAnalyzer(
+            flap_loop_gadget(), stop_at_first_violation=False, por="full"
+        ).analyze(self.PROPERTIES())
+        assert result.holds
+        assert result.converged_states >= 1
+        assert not result.truncated
+
+    def test_session_flap_exposes_the_transient_loop(self):
+        # Converge, flap o<->m, explore the re-convergence interleavings:
+        # the ordering where a and b both fall back to their stale rib-in
+        # entries forms the a -> b -> a micro-loop.
+        events = [Converge(), FailSession("o", "m")]
+        result = TransientAnalyzer(flap_loop_gadget(), por="full").analyze(
+            self.PROPERTIES(), initial_events=events
+        )
+        assert not result.holds
+        violation = result.violations[0]
+        assert "loop" in violation.message
+        assert "a" in violation.message and "b" in violation.message
+        assert violation.converged is False
+
+    def test_flap_exploration_matches_deepcopy_oracle(self):
+        events = [Converge(), FailSession("o", "m")]
+        fast = TransientAnalyzer(
+            flap_loop_gadget(), stop_at_first_violation=False, por="full"
+        ).analyze(self.PROPERTIES(), initial_events=events)
+        naive = NaiveTransientAnalyzer(
+            flap_loop_gadget(), stop_at_first_violation=False
+        ).analyze(self.PROPERTIES(), initial_events=events)
+        assert fast.stats_signature() == naive.stats_signature()
+
+    def test_reduced_flap_exploration_agrees_on_the_verdict(self):
+        events = [Converge(), FailSession("o", "m")]
+        verdicts = {}
+        for por in ("full", "sleep", "ample"):
+            result = TransientAnalyzer(
+                flap_loop_gadget(),
+                stop_at_first_violation=False,
+                collect_converged=True,
+                por=por,
+            ).analyze(self.PROPERTIES(), initial_events=events)
+            verdicts[por] = result.verdict_signature()
+        assert verdicts["full"] == verdicts["sleep"] == verdicts["ample"]
+
+    def test_flap_witness_includes_the_withdrawal_deliveries(self):
+        events = [Converge(), FailSession("o", "m")]
+        result = TransientAnalyzer(flap_loop_gadget(), por="full").analyze(
+            self.PROPERTIES(), initial_events=events
+        )
+        witness_text = "\n".join(result.violations[0].witness)
+        assert "withdraw" in witness_text
+
+    def test_initial_events_reject_unknown_hooks(self):
+        with pytest.raises(TypeError):
+            TransientAnalyzer(flap_loop_gadget()).analyze(
+                self.PROPERTIES(), initial_events=[object()]
+            )
 
 
 # --------------------------------------------------------------------------- network-level API
@@ -281,3 +491,140 @@ class TestAnalyzePecTransients:
         pecs = compute_pecs(network)
         results = analyze_pec_transients(network, pecs[0], [TransientLoopFreedom()])
         assert results == {}
+
+
+class TestTransientFailureCampaigns:
+    """Transient campaigns over failure scenarios, routed through the
+    execution engine (one task per (PEC, failure), LEC-reduced scenarios,
+    pool backends, early cancellation)."""
+
+    @staticmethod
+    def _network_and_pec():
+        topology = bgp_fat_tree(4)
+        network = ebgp_rfc7938(topology, waypoints=(), steer_through_waypoints=False)
+        pec = next(pec for pec in compute_pecs(network) if pec.has_bgp())
+        return network, pec
+
+    def test_campaign_enumerates_reduced_failure_scenarios(self):
+        network, pec = self._network_and_pec()
+        campaign = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            [TransientLoopFreedom(ignore_converged=True)],
+            options=PlanktonOptions(max_failures=1, stop_at_first_violation=False),
+            transient=TransientOptions(
+                max_states=60, max_depth=4, stop_at_first_violation=False
+            ),
+        )
+        # LEC reduction: strictly fewer scenarios than links, plus the
+        # no-failure baseline, each analysed per BGP prefix.
+        assert campaign.failure_scenarios > 1
+        assert len(campaign.runs) >= campaign.failure_scenarios
+        assert all(run.result.states_explored > 0 for run in campaign.runs)
+        assert "failure scenario(s)" in campaign.summary()
+
+    def test_campaign_serial_and_process_backends_agree(self):
+        network, pec = self._network_and_pec()
+        transient = TransientOptions(
+            max_states=50, max_depth=4, stop_at_first_violation=False
+        )
+        properties = [TransientLoopFreedom(ignore_converged=True)]
+        serial = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            properties,
+            options=PlanktonOptions(max_failures=1, backend="serial"),
+            transient=transient,
+        )
+        pooled = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            properties,
+            options=PlanktonOptions(max_failures=1, cores=2, backend="process"),
+            transient=transient,
+        )
+        assert len(serial.runs) == len(pooled.runs)
+        serial_rows = [
+            (run.prefix, tuple(run.failure.failed_links), run.result.stats_signature())
+            for run in serial.runs
+        ]
+        pooled_rows = [
+            (run.prefix, tuple(run.failure.failed_links), run.result.stats_signature())
+            for run in pooled.runs
+        ]
+        assert serial_rows == pooled_rows
+
+    def test_campaign_flap_events_ride_the_engine(self):
+        # Initial events are part of the picklable task payload, so flap
+        # campaigns work identically through the engine path.
+        network, pec = self._network_and_pec()
+        campaign = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            [TransientLoopFreedom(ignore_converged=True)],
+            transient=TransientOptions(
+                max_states=80, max_depth=4, stop_at_first_violation=False
+            ),
+            initial_events=[Converge(), FailSession("edge0_0", "agg0_0")],
+        )
+        assert campaign.runs
+        for run in campaign.runs:
+            assert run.result.states_explored > 0
+
+    def test_campaign_reuses_a_supplied_plankton(self):
+        from repro.core.verifier import Plankton
+
+        network, pec = self._network_and_pec()
+        transient = TransientOptions(
+            max_states=40, max_depth=3, stop_at_first_violation=False
+        )
+        plankton = Plankton(
+            network, PlanktonOptions(stop_at_first_violation=False)
+        )
+        reused = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            [TransientLoopFreedom(ignore_converged=True)],
+            transient=transient,
+            plankton=plankton,
+        )
+        fresh = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            [TransientLoopFreedom(ignore_converged=True)],
+            options=PlanktonOptions(stop_at_first_violation=False),
+            transient=transient,
+        )
+        assert [run.result.stats_signature() for run in reused.runs] == [
+            run.result.stats_signature() for run in fresh.runs
+        ]
+        # A supplied verifier whose stop flag disagrees with the transient
+        # options would silently drop runs; it is rejected instead.
+        with pytest.raises(ValueError):
+            analyze_pec_transients_over_failures(
+                network,
+                pec,
+                [TransientLoopFreedom(ignore_converged=True)],
+                transient=transient,
+                plankton=Plankton(network, PlanktonOptions()),
+            )
+
+    def test_campaign_report_rendering(self):
+        from repro.reporting import render_transient_markdown, transient_campaign_to_dict
+
+        network, pec = self._network_and_pec()
+        campaign = analyze_pec_transients_over_failures(
+            network,
+            pec,
+            [TransientLoopFreedom(ignore_converged=True)],
+            transient=TransientOptions(
+                max_states=40, max_depth=3, stop_at_first_violation=False
+            ),
+        )
+        document = transient_campaign_to_dict(campaign)
+        assert document["holds"] == campaign.holds
+        assert document["runs"]
+        assert "reduction" in document["runs"][0]["result"]
+        markdown = render_transient_markdown(campaign, title="Transient check")
+        assert "# Transient check" in markdown
+        assert "| failures | prefix |" in markdown

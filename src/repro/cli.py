@@ -24,10 +24,30 @@ Subcommands:
     Follow the forwarding branches of one packet (source device + destination
     address) through the simulated data plane.
 
+``transient``
+    Explore SPVP message interleavings and check transient properties
+    (micro-loops, momentary black holes) in every reachable state, with the
+    partial-order reduction, frontier and witness-minimisation knobs of
+    :mod:`repro.transient` exposed as flags.
+
+``diff-verify``
+    Verify an old configuration, then *incrementally* re-verify a new one:
+    the structural delta is computed, only the impacted Packet Equivalence
+    Classes are recomputed, and clean results are merged from the cache
+    (:mod:`repro.incremental`).  ``--cache-dir`` persists the cache so a
+    later invocation restarts warm; the same flag on ``verify`` gives the
+    warm-restart workflow for a single configuration.
+
 Examples::
 
     python -m repro verify --topology campus.topo --config campus.cfg \\
         --policy reachability --sources acc0,acc1 --max-failures 1
+    python -m repro verify --topology campus.topo --config campus.cfg \\
+        --policy loop --cache-dir .plankton-cache
+    python -m repro diff-verify old.cfg new.cfg --topology campus.topo \\
+        --policy loop --cache-dir .plankton-cache
+    python -m repro transient --topology dc.topo --config dc.cfg \\
+        --fail-session agg0_0,edge0_0 --frontier priority
     python -m repro pecs --topology campus.topo --config campus.cfg
     python -m repro trace --topology campus.topo --config campus.cfg \\
         --source acc0 --destination 10.1.0.9
@@ -182,43 +202,208 @@ def _build_options(args: argparse.Namespace) -> PlanktonOptions:
 
 
 # --------------------------------------------------------------------------- subcommands
+def _verify_document(result, policy) -> Dict[str, object]:
+    """The ``--json`` document of one verification result."""
+    document: Dict[str, object] = {
+        "holds": result.holds,
+        "policy": policy.name,
+        "pecs_analyzed": result.pecs_analyzed,
+        "failure_scenarios": result.failure_scenarios,
+        "converged_states": result.total_converged_states,
+        "states_expanded": result.total_states_expanded,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "violations": [
+            {
+                "policy": violation.policy,
+                "pec": violation.pec_description,
+                "failures": violation.failure_description,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    if result.incremental is not None:
+        document["incremental"] = result.incremental.as_dict()
+    return document
+
+
+def _print_verify_result(args: argparse.Namespace, result, policy) -> None:
+    if args.json:
+        print(json.dumps(_verify_document(result, policy), indent=2))
+    else:
+        print(result.summary())
+        if result.incremental is not None:
+            print(result.incremental.describe())
+        for violation in result.violations:
+            print()
+            print(violation.render())
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     network = _load_network(args)
     policy = _build_policy(args, network)
     options = _build_options(args)
-    result = Plankton(network, options).verify(policy)
+    if getattr(args, "cache_dir", None):
+        from repro.incremental import IncrementalVerifier
+
+        result = IncrementalVerifier(network, options, cache_dir=args.cache_dir).verify(
+            policy
+        )
+    else:
+        result = Plankton(network, options).verify(policy)
 
     if args.report:
         from repro.reporting import write_report
 
         write_report(result, args.report, title=f"{policy.name} on {network.topology.name}")
 
+    _print_verify_result(args, result, policy)
+    return EXIT_HOLDS if result.holds else EXIT_VIOLATION
+
+
+def _cmd_diff_verify(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalVerifier
+
+    old_network = parse_config(load_topology(args.topology), FilePath(args.old_config).read_text())
+    new_network = parse_config(load_topology(args.topology), FilePath(args.new_config).read_text())
+    policy = _build_policy(args, new_network)
+    options = _build_options(args)
+
+    service = IncrementalVerifier(
+        old_network, options, cache_dir=getattr(args, "cache_dir", None) or None
+    )
+    old_result = service.verify(policy)
+    delta = service.update(new_network)
+    new_result = service.verify(policy)
+
+    if args.report:
+        from repro.reporting import write_report
+
+        write_report(
+            new_result,
+            args.report,
+            title=f"{policy.name} on {new_network.topology.name} (incremental)",
+        )
+
     if args.json:
         document = {
-            "holds": result.holds,
-            "policy": policy.name,
-            "pecs_analyzed": result.pecs_analyzed,
-            "failure_scenarios": result.failure_scenarios,
-            "converged_states": result.total_converged_states,
-            "states_expanded": result.total_states_expanded,
-            "elapsed_seconds": round(result.elapsed_seconds, 6),
-            "violations": [
-                {
-                    "policy": violation.policy,
-                    "pec": violation.pec_description,
-                    "failures": violation.failure_description,
-                    "message": violation.message,
-                }
-                for violation in result.violations
-            ],
+            "old": _verify_document(old_result, policy),
+            "new": _verify_document(new_result, policy),
+            "delta": delta.summary(),
         }
         print(json.dumps(document, indent=2))
     else:
-        print(result.summary())
-        for violation in result.violations:
+        print(f"old configuration: {old_result.summary()}")
+        print()
+        print(delta.describe())
+        print()
+        print(f"new configuration: {new_result.summary()}")
+        if new_result.incremental is not None:
+            print(new_result.incremental.describe())
+        for violation in new_result.violations:
             print()
             print(violation.render())
-    return EXIT_HOLDS if result.holds else EXIT_VIOLATION
+    return EXIT_HOLDS if new_result.holds else EXIT_VIOLATION
+
+
+def _cmd_transient(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalVerifier
+    from repro.transient import (
+        Converge,
+        FailSession,
+        TransientBlackHoleFreedom,
+        TransientLoopFreedom,
+        TransientOptions,
+    )
+
+    network = _load_network(args)
+    sources = _split_list(args.sources)
+    for name in sources:
+        if name not in network.topology:
+            raise CliError(f"unknown device {name!r} in --sources")
+    if args.property == "blackhole":
+        prop = TransientBlackHoleFreedom(sources=sources or None)
+    else:
+        prop = TransientLoopFreedom(ignore_converged=not args.include_converged)
+
+    initial_events = []
+    if args.fail_session:
+        endpoints = _split_list(args.fail_session.replace(":", ","))
+        if len(endpoints) != 2:
+            raise CliError("--fail-session expects two devices, e.g. a,b")
+        for name in endpoints:
+            if name not in network.topology:
+                raise CliError(f"unknown device {name!r} in --fail-session")
+        initial_events = [Converge(), FailSession(endpoints[0], endpoints[1])]
+
+    destination = _parse_destination_prefix(args.destination_prefix)
+    stop_at_first = not args.all_violations
+    options = PlanktonOptions(
+        max_failures=args.max_failures,
+        cores=args.cores,
+        backend=args.backend,
+        stop_at_first_violation=stop_at_first,
+    )
+    transient_options = TransientOptions(
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        stop_at_first_violation=stop_at_first,
+        por=args.por,
+        frontier=args.frontier,
+        minimize_witnesses=args.minimize_witness,
+    )
+
+    service = IncrementalVerifier(
+        network, options, cache_dir=getattr(args, "cache_dir", None) or None
+    )
+    bgp_pecs = [pec for pec in service.plankton.pecs if pec.has_bgp()]
+    pecs = bgp_pecs
+    if destination is not None:
+        target = destination.to_range()
+        pecs = [pec for pec in bgp_pecs if pec.address_range.overlaps(target)]
+    if pecs:
+        campaign = service.verify_transients(
+            [prop],
+            transient=transient_options,
+            initial_events=initial_events,
+            pecs=pecs,
+        )
+    else:
+        # Nothing to analyse still honours --json/--report: emit an empty
+        # (vacuously holding) campaign document instead of bare text.
+        from repro.transient import TransientCampaignResult
+
+        campaign = TransientCampaignResult()
+        if not args.json:
+            if bgp_pecs:
+                print(
+                    f"--destination-prefix {args.destination_prefix} matches no "
+                    "BGP-originated PEC; nothing to analyse"
+                )
+            else:
+                print("no BGP-originated prefixes to analyse")
+
+    if args.report:
+        from repro.reporting import write_transient_report
+
+        write_transient_report(
+            campaign,
+            args.report,
+            title=f"Transient analysis of {network.topology.name}",
+        )
+
+    if args.json:
+        from repro.reporting import transient_campaign_to_dict
+
+        print(json.dumps(transient_campaign_to_dict(campaign), indent=2))
+    else:
+        print(campaign.summary())
+        if campaign.incremental is not None:
+            print(campaign.incremental.describe())
+        for violation in campaign.violations:
+            print()
+            print(violation.render())
+    return EXIT_HOLDS if campaign.holds else EXIT_VIOLATION
 
 
 def _cmd_pecs(args: argparse.Namespace) -> int:
@@ -346,17 +531,8 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests and documentation tooling)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Plankton-style network configuration verification",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    verify = subparsers.add_parser("verify", help="verify a policy over all converged data planes")
-    _add_input_arguments(verify)
-    verify.add_argument(
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--policy",
         required=True,
         choices=[
@@ -370,40 +546,131 @@ def build_parser() -> argparse.ArgumentParser:
             "path-consistency",
         ],
     )
-    verify.add_argument("--sources", help="comma-separated source devices")
-    verify.add_argument("--waypoints", help="comma-separated waypoint devices")
-    verify.add_argument("--protected", help="comma-separated protected devices (segmentation)")
-    verify.add_argument("--destination-prefix", help="restrict the check to one destination prefix")
-    verify.add_argument("--max-hops", type=int, help="hop budget for bounded-path-length")
-    verify.add_argument(
+    parser.add_argument("--sources", help="comma-separated source devices")
+    parser.add_argument("--waypoints", help="comma-separated waypoint devices")
+    parser.add_argument("--protected", help="comma-separated protected devices (segmentation)")
+    parser.add_argument("--destination-prefix", help="restrict the check to one destination prefix")
+    parser.add_argument("--max-hops", type=int, help="hop budget for bounded-path-length")
+    parser.add_argument(
         "--any-branch",
         action="store_true",
         help="reachability: accept delivery on any ECMP branch instead of all branches",
     )
-    verify.add_argument("--max-failures", type=int, default=0, help="link-failure budget")
-    verify.add_argument("--cores", type=int, default=1, help="worker processes for PEC tasks")
-    verify.add_argument(
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-failures", type=int, default=0, help="link-failure budget")
+    parser.add_argument("--cores", type=int, default=1, help="worker processes for PEC tasks")
+    parser.add_argument(
         "--backend",
         choices=list(BACKEND_CHOICES),
         default="auto",
         help="execution engine backend (auto: process pool when --cores > 1)",
     )
-    verify.add_argument(
+    parser.add_argument(
         "--all-violations",
         action="store_true",
         help="keep searching after the first violation",
     )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the persistent incremental result cache (warm restarts)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--report",
+        help="also write a report file (.json for structured output, anything else for Markdown)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and documentation tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plankton-style network configuration verification",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser("verify", help="verify a policy over all converged data planes")
+    _add_input_arguments(verify)
+    _add_policy_arguments(verify)
+    _add_engine_arguments(verify)
     verify.add_argument(
         "--no-optimizations",
         action="store_true",
         help="disable the §4 optimizations (naive model checking; for ablation only)",
     )
-    verify.add_argument("--json", action="store_true", help="machine-readable output")
-    verify.add_argument(
-        "--report",
-        help="also write a report file (.json for structured output, anything else for Markdown)",
-    )
     verify.set_defaults(handler=_cmd_verify)
+
+    diff_verify = subparsers.add_parser(
+        "diff-verify",
+        help="verify OLD, then incrementally re-verify NEW (only impacted PECs recomputed)",
+    )
+    diff_verify.add_argument("old_config", help="the old multi-device configuration file")
+    diff_verify.add_argument("new_config", help="the new multi-device configuration file")
+    diff_verify.add_argument(
+        "--topology", required=True, help="topology file (.topo text or .json)"
+    )
+    _add_policy_arguments(diff_verify)
+    _add_engine_arguments(diff_verify)
+    diff_verify.add_argument(
+        "--no-optimizations",
+        action="store_true",
+        help="disable the §4 optimizations (naive model checking; for ablation only)",
+    )
+    diff_verify.set_defaults(handler=_cmd_diff_verify)
+
+    transient = subparsers.add_parser(
+        "transient",
+        help="explore SPVP interleavings and check transient properties",
+    )
+    _add_input_arguments(transient)
+    transient.add_argument(
+        "--property",
+        choices=["loop", "blackhole"],
+        default="loop",
+        help="transient property to check (default: loop)",
+    )
+    transient.add_argument(
+        "--sources", help="blackhole: restrict the check to these source devices"
+    )
+    transient.add_argument(
+        "--destination-prefix", help="restrict the analysis to PECs covering this prefix"
+    )
+    transient.add_argument(
+        "--include-converged",
+        action="store_true",
+        help="loop: also flag loops that persist in converged states",
+    )
+    transient.add_argument(
+        "--max-states", type=int, default=20_000, help="state budget per exploration"
+    )
+    transient.add_argument(
+        "--max-depth", type=int, default=64, help="delivery-depth budget per exploration"
+    )
+    transient.add_argument(
+        "--por",
+        choices=["ample", "sleep", "full"],
+        default="ample",
+        help="partial-order reduction mode (full = unreduced oracle)",
+    )
+    transient.add_argument(
+        "--frontier",
+        choices=["fifo", "priority"],
+        default="fifo",
+        help="exploration order (priority drains convergence chains first)",
+    )
+    transient.add_argument(
+        "--minimize-witness",
+        action="store_true",
+        help="shrink violation witnesses by dropping independent deliveries",
+    )
+    transient.add_argument(
+        "--fail-session",
+        help="converge, then flap the session between these two devices (A,B)",
+    )
+    _add_engine_arguments(transient)
+    transient.set_defaults(handler=_cmd_transient)
 
     pecs = subparsers.add_parser("pecs", help="show packet equivalence classes and dependencies")
     _add_input_arguments(pecs)

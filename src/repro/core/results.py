@@ -71,6 +71,11 @@ class VerificationResult:
     total_converged_states: int = 0
     approximate_memory_bytes: int = 0
 
+    #: Populated by the incremental re-verification service
+    #: (:class:`repro.incremental.service.IncrementalRunStats`): cache-hit /
+    #: recompute accounting for this run.  None for cold ``Plankton.verify``.
+    incremental: Optional[object] = None
+
     def record(self, run: PecRunResult) -> None:
         """Fold one PEC run into the aggregate."""
         self.pec_runs.append(run)

@@ -53,32 +53,25 @@ class Plankton:
         return self._pec_by_index[index]
 
     # ------------------------------------------------------------------ public API
-    def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:
-        """Verify the configuration against one policy or a list of policies.
+    def expand_request(
+        self, policies: Union[Policy, Sequence[Policy]]
+    ) -> Tuple[List[Policy], List[PacketEquivalenceClass], "object"]:
+        """Normalise a verification request into (policies, relevant PECs, graph).
 
-        All work — independent and dependent PECs alike — is expanded into
-        the execution engine's task graph and run on the backend selected by
-        :attr:`PlanktonOptions.backend` / :attr:`PlanktonOptions.cores`.
+        The shared prologue of :meth:`verify` and the incremental service's
+        re-verification: the policy list is validated, the PECs at least one
+        policy applies to are selected, and the request is expanded into the
+        execution engine's task graph (empty when nothing is relevant).
         """
-        from repro.engine import (
-            EngineContext,
-            ResultAggregator,
-            build_task_graph,
-            select_backend,
-        )
+        from repro.engine import build_task_graph
+        from repro.engine.graph import TaskGraph
 
         policy_list = [policies] if isinstance(policies, Policy) else list(policies)
         if not policy_list:
             raise VerificationError("at least one policy is required")
-        result = VerificationResult(policy_names=[p.name for p in policy_list])
-        started = time.perf_counter()
-
         relevant = [pec for pec in self.pecs if any(p.applies_to(pec) for p in policy_list)]
-        result.pecs_analyzed = len(relevant)
         if not relevant:
-            result.elapsed_seconds = time.perf_counter() - started
-            return result
-
+            return policy_list, relevant, TaskGraph()
         graph = build_task_graph(
             self.network,
             self.pecs,
@@ -87,6 +80,24 @@ class Plankton:
             self.options,
             relevant,
         )
+        return policy_list, relevant, graph
+
+    def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:
+        """Verify the configuration against one policy or a list of policies.
+
+        All work — independent and dependent PECs alike — is expanded into
+        the execution engine's task graph and run on the backend selected by
+        :attr:`PlanktonOptions.backend` / :attr:`PlanktonOptions.cores`.
+        """
+        from repro.engine import EngineContext, ResultAggregator, select_backend
+
+        started = time.perf_counter()
+        policy_list, relevant, graph = self.expand_request(policies)
+        result = VerificationResult(policy_names=[p.name for p in policy_list])
+        result.pecs_analyzed = len(relevant)
+        if not relevant:
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
         result.failure_scenarios = graph.failure_scenarios
 
         aggregator = ResultAggregator(graph, self.options, result.policy_names)

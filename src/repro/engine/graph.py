@@ -128,6 +128,35 @@ class TaskGraph:
                         f"task {task.task_id} depends on non-earlier task {dependency}"
                     )
 
+    def restricted(self, keep) -> Tuple["TaskGraph", Dict[int, int]]:
+        """The subgraph of the tasks in ``keep``, renumbered contiguously.
+
+        Dependency edges into dropped tasks are omitted (the caller is
+        responsible for supplying whatever those tasks produced — the
+        incremental service injects their cached data planes).  Returns the
+        new graph and the old-id → new-id mapping; relative task order (and
+        therefore the topological invariant) is preserved.
+        """
+        import dataclasses
+
+        keep = set(keep)
+        subgraph = TaskGraph(failure_scenarios=self.failure_scenarios)
+        id_map: Dict[int, int] = {}
+        for task in self.tasks:
+            if task.task_id not in keep:
+                continue
+            new_id = len(subgraph.tasks)
+            depends_on = tuple(
+                id_map[dependency]
+                for dependency in task.depends_on
+                if dependency in id_map
+            )
+            subgraph.tasks.append(
+                dataclasses.replace(task, task_id=new_id, depends_on=depends_on)
+            )
+            id_map[task.task_id] = new_id
+        return subgraph, id_map
+
 
 # --------------------------------------------------------------------------- scenarios
 def failure_scenarios_for_pec(

@@ -1,0 +1,325 @@
+"""PEC impact analysis: which PECs can a config delta affect?
+
+Two complementary views of the same question live here:
+
+* :func:`config_slice` — the *forward* view: for one PEC, the canonical
+  serialisation of every construct its verification result can read.  This
+  is what the per-PEC fingerprints of :mod:`repro.incremental.cache` hash:
+  if the slice (plus the policy, the options, the task shape and the
+  slices of dependency PECs) is unchanged, the PEC's result is unchanged.
+  PRAXIS-style attribution works the same way in reverse: the slice names
+  the constructs a PEC's outcome is attributable to.
+* :func:`impacted_pecs` — the *backward* view: map a
+  :class:`~repro.incremental.delta.ConfigDelta` onto the set of dirty PEC
+  indices using the PEC partition and the dependency graph.  A changed
+  filter dirties the PECs whose prefix ranges its changed clauses can
+  match, a changed link or session dirties every PEC whose exploration
+  can traverse it, and the result is closed transitively over the PEC
+  dependency edges (a dirty upstream dirties every dependent).
+
+The backward view is intentionally an over-approximation of "slice
+changed": the service uses it to invalidate proactively and to explain a
+push, while cache *hits* are always gated on fingerprint equality, so an
+impact-analysis bug can cost recomputation but never staleness.
+
+What goes into a slice (and why):
+
+* the **whole topology** — OSPF shortest paths, failure-scenario
+  enumeration and Link-Equivalence-Class reduction read every link;
+* **OSPF settings of every device** (interface costs, passive flags,
+  redistribution) plus the device's OSPF networks restricted to the PEC —
+  costs shape the IGP for every destination, but an OSPF ``network``
+  statement for a prefix outside the PEC cannot influence it;
+* **BGP process + sessions of every device** — any session can carry the
+  PEC's advertisements — plus BGP networks restricted to the PEC;
+* **route maps referenced by sessions**, restricted per PEC prefix to the
+  clauses that *can match* it (prefix/length conditions are evaluated
+  exactly; community/AS-path conditions are conservatively treated as
+  matchable), in sequence order — a clause that cannot match any of the
+  PEC's prefixes can never fire for them under first-match evaluation;
+* the per-device **maximum assignable local preference** over *all* route
+  maps (referenced or not) — the §4.1.2 deterministic-node bounds read it
+  (:func:`repro.protocols.filters.maximum_local_pref`), so an edit to an
+  otherwise-unreferenced map can still change exploration statistics;
+* **static routes** covering the PEC (with distance/drop/next hops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.config.objects import DeviceConfig, NetworkConfig, RouteMapClause
+from repro.incremental.delta import ConfigDelta
+from repro.netaddr import Prefix
+from repro.pec.classes import PacketEquivalenceClass, pec_covering_prefix
+from repro.pec.dependencies import PecDependencyGraph
+from repro.protocols.filters import maximum_local_pref
+
+
+# --------------------------------------------------------------------------- clause scoping
+def _clause_can_match(clause: RouteMapClause, device: DeviceConfig, prefix: Prefix) -> bool:
+    """Whether ``clause`` can ever match a route advertised for ``prefix``.
+
+    Mirrors :func:`repro.protocols.filters._clause_matches` for the
+    route-independent conditions (prefix list, prefix set, length bounds)
+    and treats route-dependent conditions (communities, AS path) as
+    potentially true.
+    """
+    match = clause.match
+    if match.is_empty():
+        return True
+    if match.prefix_list is not None:
+        plist = device.prefix_lists.get(match.prefix_list)
+        if plist is not None and not plist.permits(prefix):
+            return False
+    if match.prefixes and not any(p.contains_prefix(prefix) for p in match.prefixes):
+        return False
+    if match.min_prefix_length is not None and prefix.length < match.min_prefix_length:
+        return False
+    if match.max_prefix_length is not None and prefix.length > match.max_prefix_length:
+        return False
+    return True
+
+
+def _clause_token(clause: RouteMapClause) -> Tuple:
+    return (
+        clause.sequence,
+        clause.permit,
+        clause.match.prefix_list,
+        tuple(sorted(str(p) for p in clause.match.prefixes)),
+        tuple(sorted(clause.match.communities)),
+        clause.match.as_path_contains,
+        clause.match.min_prefix_length,
+        clause.match.max_prefix_length,
+        clause.actions.local_preference,
+        clause.actions.med,
+        clause.actions.prepend_count,
+        tuple(sorted(clause.actions.add_communities)),
+        tuple(sorted(clause.actions.remove_communities)),
+        clause.actions.next_hop_self,
+        clause.actions.ospf_metric,
+    )
+
+
+def _route_map_slice(
+    device: DeviceConfig, map_name: Optional[str], prefixes: Sequence[Prefix]
+) -> Tuple:
+    """The per-PEC view of one referenced route map: can-match clauses only.
+
+    Each kept clause carries its *per-prefix* route-independent match
+    vector, not just its definition: runtime evaluation gates on
+    ``prefix_list.permits(advertised)`` and the prefix/length conditions
+    per advertised prefix, so an edit that flips matchability for one of
+    the PEC's prefixes (e.g. a ``le`` bound change in a referenced prefix
+    list) must change the slice even when the clause body and its
+    any-prefix matchability are unchanged.
+    """
+    if map_name is None:
+        return ("none",)
+    route_map = device.route_maps.get(map_name)
+    if route_map is None:
+        return ("missing", map_name)
+    tokens: List[Tuple] = []
+    for clause in route_map.sorted_clauses():
+        match_vector = tuple(
+            _clause_can_match(clause, device, prefix) for prefix in prefixes
+        )
+        if any(match_vector):
+            tokens.append((match_vector, _clause_token(clause)))
+    return (map_name, tuple(tokens))
+
+
+# --------------------------------------------------------------------------- topology token
+def _topology_token(network: NetworkConfig) -> Tuple:
+    """Everything the verifier reads from the topology, in iteration order.
+
+    Node order matters (it fixes protocol-instance slot layouts and hence
+    exploration order), so it is serialised as-is rather than sorted.
+    """
+    topology = network.topology
+    nodes = tuple(
+        (
+            name,
+            topology.node(name).role,
+            str(topology.node(name).loopback) if topology.node(name).loopback else None,
+        )
+        for name in topology.nodes
+    )
+    links = tuple(
+        (link.link_id, link.a, link.b, link.weight_ab, link.weight_ba)
+        for link in topology.links
+    )
+    return (nodes, links)
+
+
+# --------------------------------------------------------------------------- device slices
+def _device_slice(device: DeviceConfig, pec: PacketEquivalenceClass) -> Optional[Tuple]:
+    """One device's contribution to the PEC's slice (None when empty)."""
+    pec_prefixes = pec.prefixes
+    parts: List[Tuple] = []
+
+    statics = tuple(
+        (
+            str(route.prefix),
+            route.next_hop_node,
+            str(route.next_hop_ip) if route.next_hop_ip is not None else None,
+            route.distance,
+            route.drop,
+        )
+        for route in device.static_routes
+        if pec.address_range.overlaps(route.prefix.to_range())
+    )
+    if statics:
+        parts.append(("static", statics))
+
+    if device.ospf is not None:
+        ospf = device.ospf
+        networks = tuple(
+            sorted(
+                str(prefix)
+                for prefix in ospf.networks
+                if pec.address_range.overlaps(prefix.to_range())
+            )
+        )
+        interfaces = tuple(
+            (neighbor, interface.cost, interface.passive)
+            for neighbor, interface in sorted(ospf.interfaces.items())
+        )
+        parts.append(
+            (
+                "ospf",
+                networks,
+                interfaces,
+                ospf.redistribute_static,
+                ospf.external_metric,
+            )
+        )
+
+    if device.bgp is not None:
+        bgp = device.bgp
+        networks = tuple(
+            sorted(
+                str(prefix)
+                for prefix in bgp.networks
+                if pec.address_range.overlaps(prefix.to_range())
+            )
+        )
+        sessions: List[Tuple] = []
+        for session in sorted(bgp.neighbors, key=lambda s: s.peer):
+            sessions.append(
+                (
+                    session.peer,
+                    session.remote_asn,
+                    session.next_hop_self,
+                    session.route_reflector_client,
+                    session.weight,
+                    _route_map_slice(device, session.import_map, pec_prefixes),
+                    _route_map_slice(device, session.export_map, pec_prefixes),
+                )
+            )
+        parts.append(
+            (
+                "bgp",
+                bgp.asn,
+                bgp.default_local_pref,
+                bgp.redistribute_ospf,
+                bgp.redistribute_static,
+                bgp.multipath,
+                networks,
+                tuple(sessions),
+                # The §4.1.2 bounds read the max local-pref over *all* maps.
+                maximum_local_pref(device, bgp.default_local_pref),
+            )
+        )
+
+    if not parts:
+        return None
+    return tuple(parts)
+
+
+def config_slice(network: NetworkConfig, pec: PacketEquivalenceClass) -> Tuple:
+    """The canonical serialisation of everything ``pec``'s result can read.
+
+    Dependency PECs are *not* folded in here — the fingerprint layer
+    composes slices along the dependency closure — so the slice of a PEC
+    changes only when a construct it directly reads changes.
+    """
+    devices = tuple(
+        (name, slice_)
+        for name in network.topology.nodes
+        for slice_ in (_device_slice(network.devices.get(name, DeviceConfig(name=name)), pec),)
+        if slice_ is not None
+    )
+    return (
+        pec.index,
+        (pec.address_range.low, pec.address_range.high),
+        tuple(str(prefix) for prefix in pec.prefixes),
+        tuple((str(prefix), devices_) for prefix, devices_ in pec.ospf_origins),
+        tuple((str(prefix), devices_) for prefix, devices_ in pec.bgp_origins),
+        tuple((str(prefix), devices_) for prefix, devices_ in pec.static_devices),
+        _topology_token(network),
+        devices,
+    )
+
+
+# --------------------------------------------------------------------------- delta -> dirty PECs
+def impacted_pecs(
+    delta: ConfigDelta,
+    network: NetworkConfig,
+    pecs: Sequence[PacketEquivalenceClass],
+    dependency_graph: PecDependencyGraph,
+) -> Set[int]:
+    """The indices of PECs (in the *new* partition) the delta can affect.
+
+    The mapping follows the slice structure: topology changes dirty every
+    PEC; session and BGP-process changes dirty every BGP-bearing PEC;
+    filter changes dirty the PECs whose prefix ranges the changed clauses
+    can match (or every BGP PEC for unconstrained clauses); static and
+    announcement changes dirty the PECs covering their prefixes.  The
+    result is closed over the dependency graph's *dependent* edges.
+    """
+    if delta.is_empty:
+        return set()
+    dirty: Set[int] = set()
+    all_indices = {pec.index for pec in pecs}
+
+    if delta.touches_topology:
+        return set(all_indices)
+
+    def pecs_for(prefix: Prefix) -> List[PacketEquivalenceClass]:
+        return pec_covering_prefix(pecs, prefix)
+
+    bgp_pecs = {pec.index for pec in pecs if pec.has_bgp()}
+
+    if delta.session_changes or delta.bgp_process_changes:
+        dirty.update(bgp_pecs)
+
+    if delta.ospf_process_changes:
+        # Interface costs and redistribution shape the IGP for every
+        # destination; OSPF process changes therefore dirty every PEC that
+        # uses OSPF or consumes IGP costs (conservatively: all of them).
+        dirty.update(all_indices)
+
+    for change in delta.filter_changes:
+        if change.matches_everything:
+            dirty.update(bgp_pecs)
+            continue
+        for prefix in change.match_prefixes:
+            dirty.update(pec.index for pec in pecs_for(prefix))
+
+    for _device, prefix in delta.static_changes:
+        dirty.update(pec.index for pec in pecs_for(prefix))
+
+    for _device, _protocol, prefix in delta.announce_changes:
+        dirty.update(pec.index for pec in pecs_for(prefix))
+
+    # Transitive closure over dependents: a dirty upstream invalidates the
+    # merged outcomes every dependent explored against.
+    frontier = list(dirty)
+    while frontier:
+        index = frontier.pop()
+        for dependent in dependency_graph.dependents_of(index):
+            if dependent not in dirty:
+                dirty.add(dependent)
+                frontier.append(dependent)
+    return dirty & all_indices

@@ -1,0 +1,662 @@
+"""The incremental re-verification session: :class:`IncrementalVerifier`.
+
+A service process owns one :class:`IncrementalVerifier`.  The first
+:meth:`~IncrementalVerifier.verify` call behaves like a cold
+:meth:`~repro.core.verifier.Plankton.verify` and fills the cache; every
+configuration push then goes through :meth:`~IncrementalVerifier.update`
+(which computes the :class:`~repro.incremental.delta.ConfigDelta` and the
+impacted-PEC set) and a re-:meth:`verify` that
+
+1. expands the *same* task graph a cold run would,
+2. fingerprints every PEC in the graph
+   (:func:`~repro.incremental.cache.verification_fingerprints`),
+3. serves clean PECs from the cache and routes only the dirty ones through
+   the execution engine (the task graph filtered to dirty tasks, cached
+   upstream data planes injected for dependency edges), and
+4. merges everything **in task-graph order** with the cold run's
+   stop-at-first-violation semantics, so the produced
+   :class:`~repro.core.results.VerificationResult` is identical (modulo
+   wall-clock fields) to what a cold verify of the new configuration would
+   return.
+
+Transient (SPVP interleaving) campaigns go through
+:meth:`~IncrementalVerifier.verify_transients` with the same
+fingerprint-gated reuse, one cache entry per (PEC, transient payload).
+
+Correctness layering: a cache entry is used only when its fingerprint
+matches, *and* the PECs named dirty by the impact analysis of the latest
+:meth:`update` are recomputed regardless — so the impact analysis can only
+cost extra recomputation, never staleness, and a fingerprint bug would have
+to coincide with an impact-analysis miss to go unnoticed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.config.objects import NetworkConfig
+from repro.core.options import PlanktonOptions
+from repro.core.results import VerificationResult
+from repro.core.verifier import Plankton
+from repro.incremental.cache import (
+    ResultCache,
+    decode_data_plane,
+    decode_run,
+    decode_transient_run,
+    encode_data_plane,
+    encode_failure,
+    encode_run,
+    encode_transient_run,
+    pec_base_fingerprints,
+    transient_fingerprint,
+    verification_fingerprints,
+)
+from repro.incremental.delta import ConfigDelta, diff_networks
+from repro.incremental.impact import impacted_pecs
+from repro.pec.classes import PacketEquivalenceClass
+from repro.policies.base import Policy
+
+
+# --------------------------------------------------------------------------- run stats
+@dataclass
+class IncrementalRunStats:
+    """Cache-hit / recompute accounting for one incremental run."""
+
+    pecs_total: int = 0
+    pecs_from_cache: int = 0
+    pecs_recomputed: int = 0
+    tasks_total: int = 0
+    tasks_from_cache: int = 0
+    tasks_recomputed: int = 0
+    #: PEC indices recomputed this run (fingerprint miss or impact-dirty).
+    dirty_pecs: List[int] = field(default_factory=list)
+    #: PEC indices the impact analysis of the last delta named.
+    impacted_pecs: List[int] = field(default_factory=list)
+    delta_summary: str = ""
+    cache_entries: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pecs_total": self.pecs_total,
+            "pecs_from_cache": self.pecs_from_cache,
+            "pecs_recomputed": self.pecs_recomputed,
+            "tasks_total": self.tasks_total,
+            "tasks_from_cache": self.tasks_from_cache,
+            "tasks_recomputed": self.tasks_recomputed,
+            "dirty_pecs": list(self.dirty_pecs),
+            "impacted_pecs": list(self.impacted_pecs),
+            "delta_summary": self.delta_summary,
+            "cache_entries": self.cache_entries,
+        }
+
+    def describe(self) -> str:
+        delta = f" ({self.delta_summary})" if self.delta_summary else ""
+        return (
+            f"incremental: {self.pecs_from_cache}/{self.pecs_total} PEC(s) from "
+            f"cache, {self.pecs_recomputed} recomputed "
+            f"({self.tasks_from_cache}/{self.tasks_total} task(s) cached); "
+            f"{self.cache_entries} cache entr(ies){delta}"
+        )
+
+
+# --------------------------------------------------------------------------- engine glue
+class _CacheAwareAggregator:
+    """Engine aggregator for the dirty-task subgraph.
+
+    Implements the surface the backends drive; upstream data planes combine
+    the dirty results produced so far with the cached planes of clean
+    upstream PECs (injected per task at construction).
+    """
+
+    def __init__(self, options, cached_planes: Dict[int, Dict[int, List]], spec_by_id) -> None:
+        self._options = options
+        self._cached_planes = cached_planes
+        self._spec_by_id = spec_by_id
+        self.results: Dict[int, object] = {}
+        self.stop_requested = False
+
+    def record(self, result) -> None:
+        self.results[result.task_id] = result
+        if result.has_violation and self._options.stop_at_first_violation:
+            self.stop_requested = True
+
+    def upstream_planes(self, spec) -> Dict[int, List]:
+        planes: Dict[int, List] = {}
+        for pec_index, cached in self._cached_planes.get(spec.task_id, {}).items():
+            planes.setdefault(pec_index, []).extend(cached)
+        for dependency_id in spec.depends_on:
+            upstream = self._spec_by_id[dependency_id]
+            result = self.results.get(dependency_id)
+            planes.setdefault(upstream.pec_index, []).extend(
+                result.data_planes if result is not None else []
+            )
+        return planes
+
+    def has_result(self, task_id: int) -> bool:
+        return task_id in self.results
+
+
+# --------------------------------------------------------------------------- signatures
+def _reduction_signature(reduction) -> Optional[Tuple]:
+    if reduction is None:
+        return None
+    return (
+        reduction.mode,
+        reduction.states_reduced,
+        reduction.states_full,
+        reduction.transitions_enabled,
+        reduction.transitions_expanded,
+        reduction.transitions_slept,
+        reduction.sleep_requeues,
+        reduction.sleep_fallbacks,
+        reduction.proviso_fallbacks,
+        reduction.depth_pruned,
+    )
+
+
+def _statistics_signature(statistics) -> Optional[Tuple]:
+    if statistics is None:
+        return None
+    return (
+        statistics.states_expanded,
+        statistics.unique_states,
+        statistics.transitions,
+        statistics.terminal_states,
+        statistics.unique_terminal_states,
+        statistics.violations,
+        statistics.max_depth_reached,
+        statistics.visited_bytes,
+        statistics.interner_entries,
+        statistics.interner_bytes,
+        statistics.truncated,
+        _reduction_signature(statistics.reduction),
+    )
+
+
+def _trail_signature(trail) -> Optional[Tuple]:
+    if trail is None:
+        return None
+    return (
+        trail.policy,
+        trail.pec_description,
+        tuple((step.kind, step.description) for step in trail.steps),
+        trail.violation_description,
+        trail.data_plane_dump,
+    )
+
+
+def _violation_signature(violation) -> Tuple:
+    return (
+        violation.policy,
+        violation.pec_index,
+        violation.pec_description,
+        violation.failure_description,
+        violation.message,
+        _trail_signature(violation.trail),
+    )
+
+
+def _run_signature(run) -> Tuple:
+    return (
+        run.pec_index,
+        tuple(run.failure.failed_links),
+        run.converged_states,
+        run.checked_states,
+        run.suppressed_states,
+        tuple(_violation_signature(violation) for violation in run.violations),
+        _statistics_signature(run.statistics),
+        tuple(plane.describe() for plane in run.data_planes),
+    )
+
+
+def result_signature(result: VerificationResult) -> Tuple:
+    """Everything observable about a verification result except wall-clock.
+
+    The incremental oracle tests assert this is bit-identical between an
+    incremental re-verification and a cold ``Plankton.verify``.
+    """
+    return (
+        tuple(result.policy_names),
+        result.holds,
+        result.pecs_analyzed,
+        result.failure_scenarios,
+        result.total_states_expanded,
+        result.total_unique_states,
+        result.total_converged_states,
+        result.approximate_memory_bytes,
+        tuple(_violation_signature(violation) for violation in result.violations),
+        tuple(_run_signature(run) for run in result.pec_runs),
+    )
+
+
+def transient_campaign_signature(campaign) -> Tuple:
+    """Wall-clock-free signature of a transient campaign (oracle tests)."""
+    return (
+        campaign.failure_scenarios,
+        tuple(
+            (
+                run.pec_index,
+                tuple(run.failure.failed_links),
+                run.prefix,
+                run.result.stats_signature(),
+                _reduction_signature(run.result.reduction),
+            )
+            for run in campaign.runs
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- the service
+class IncrementalVerifier:
+    """A verification session that re-verifies configuration deltas fast.
+
+    Typical service loop::
+
+        service = IncrementalVerifier(network, options, cache_dir="cache/")
+        service.verify(policy)              # cold; fills the cache
+        delta = service.update(new_network) # a config push
+        result = service.verify(policy)     # only dirty PECs recomputed
+        print(result.incremental.describe())
+
+    The cache directory is optional; without it the cache lives in memory
+    for the life of the session.  With it, every verify persists the store,
+    so a *new process* pointed at the same directory restarts warm.
+    """
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        options: Optional[PlanktonOptions] = None,
+        cache_dir=None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.options = options or PlanktonOptions()
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.plankton = Plankton(network, self.options)
+        self.last_delta: Optional[ConfigDelta] = None
+        #: Impact-dirty PEC indices, consumed once per result kind: the
+        #: first verify (and the first transient campaign) after an update
+        #: recomputes them regardless of fingerprint agreement.
+        self._impact_pending: Dict[str, Set[int]] = {"verify": set(), "transient": set()}
+
+    # ------------------------------------------------------------------ session API
+    @property
+    def network(self) -> NetworkConfig:
+        return self.plankton.network
+
+    def update(self, new_network: NetworkConfig) -> ConfigDelta:
+        """Install a new configuration; returns the structural delta.
+
+        The delta's impacted PECs are recomputed (not served from cache) on
+        the next verify even if their fingerprints match — the impact
+        analysis acts as a second, independent invalidation layer.
+        """
+        delta = diff_networks(self.plankton.network, new_network)
+        self.plankton = Plankton(new_network, self.options)
+        self.last_delta = delta
+        impacted = impacted_pecs(
+            delta, new_network, self.plankton.pecs, self.plankton.dependency_graph
+        )
+        # Union, not replace: consecutive pushes without an intervening
+        # verify must keep every earlier push's PECs pending.  (Indices are
+        # in the *new* partition; fingerprints cover partition shifts, the
+        # pending set is the independent belt on top.)
+        self._impact_pending["verify"] |= impacted
+        self._impact_pending["transient"] |= impacted
+        return delta
+
+    def save(self):
+        """Persist the cache (no-op for memory-only caches)."""
+        return self.cache.save()
+
+    # ------------------------------------------------------------------ verification
+    def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:
+        """Verify the current configuration, reusing every clean PEC.
+
+        The returned result is identical (except wall-clock fields) to a
+        cold ``Plankton(network, options).verify(policies)`` of the same
+        configuration; ``result.incremental`` carries the cache accounting.
+        """
+        from repro.engine import EngineContext, select_backend
+        from repro.engine.graph import TaskResult
+        from repro.engine.worker import execute_task
+
+        plankton = self.plankton
+        self.cache.reset_counters()
+        impact_dirty = self._impact_pending["verify"]
+        started = time.perf_counter()
+        policy_list, relevant, graph = plankton.expand_request(policies)
+        result = VerificationResult(policy_names=[p.name for p in policy_list])
+        stats = IncrementalRunStats(
+            impacted_pecs=sorted(impact_dirty),
+            delta_summary=self.last_delta.summary() if self.last_delta else "",
+        )
+        result.incremental = stats
+        result.pecs_analyzed = len(relevant)
+        if not relevant:
+            stats.cache_entries = len(self.cache)
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+        result.failure_scenarios = graph.failure_scenarios
+        fingerprints = verification_fingerprints(
+            plankton.network,
+            plankton.pecs,
+            plankton.dependency_graph,
+            policy_list,
+            self.options,
+            graph,
+        )
+
+        tasks_by_pec: Dict[int, List] = {}
+        for task in graph.tasks:
+            tasks_by_pec.setdefault(task.pec_index, []).append(task)
+        stats.pecs_total = len(tasks_by_pec)
+        stats.tasks_total = len(graph.tasks)
+
+        # ---------------------------------------------------------- cache triage
+        cached_results: Dict[int, TaskResult] = {}  # original task id -> result
+        dirty: Set[int] = set()
+        for pec_index, tasks in tasks_by_pec.items():
+            entry = None
+            if pec_index not in impact_dirty:
+                entry = self.cache.lookup(fingerprints[pec_index])
+            if entry is not None:
+                decoded = self._decode_verify_entry(entry, tasks)
+                if decoded is not None:
+                    cached_results.update(decoded)
+                    stats.pecs_from_cache += 1
+                    stats.tasks_from_cache += len(tasks)
+                    continue
+            dirty.add(pec_index)
+            stats.pecs_recomputed += 1
+        stats.dirty_pecs = sorted(dirty)
+
+        # ---------------------------------------------------------- dirty subgraph
+        spec_by_id = {task.task_id: task for task in graph.tasks}
+        # Early-stop parity with a cold run: a violation sitting in a
+        # *cached* task stops the ordered merge there, so dirty tasks after
+        # it would be computed only to be discarded.  Trim them up front
+        # (they stay dirty/uncached for the next verify — exactly what a
+        # cold run would have left behind).
+        stop_boundary: Optional[int] = None
+        if self.options.stop_at_first_violation:
+            for task in graph.tasks:
+                cached = cached_results.get(task.task_id)
+                if cached is not None and cached.has_violation:
+                    stop_boundary = task.task_id
+                    break
+        dirty_task_ids = [
+            task.task_id
+            for task in graph.tasks
+            if task.pec_index in dirty
+            and (stop_boundary is None or task.task_id < stop_boundary)
+        ]
+        stats.tasks_recomputed = len(dirty_task_ids)
+
+        if dirty_task_ids:
+            filtered, id_map = graph.restricted(dirty_task_ids)
+            # Dependency edges into clean tasks were dropped by the
+            # restriction; inject their cached data planes per dirty task.
+            cached_planes: Dict[int, Dict[int, List]] = {}
+            for task in graph.tasks:
+                if task.task_id not in id_map:
+                    continue
+                clean_upstream: Dict[int, List] = {}
+                for dependency_id in task.depends_on:
+                    upstream = spec_by_id[dependency_id]
+                    if upstream.pec_index in dirty:
+                        continue
+                    cached = cached_results.get(dependency_id)
+                    clean_upstream.setdefault(upstream.pec_index, []).extend(
+                        cached.data_planes if cached is not None else []
+                    )
+                if clean_upstream:
+                    cached_planes[id_map[task.task_id]] = clean_upstream
+
+            filtered_spec_by_id = {task.task_id: task for task in filtered.tasks}
+            aggregator = _CacheAwareAggregator(
+                self.options, cached_planes, filtered_spec_by_id
+            )
+            backend = select_backend(self.options, filtered)
+            if cached_planes and backend.name == "process":
+                # The process backend ships upstream planes only for tasks
+                # with dependency edges; tasks whose upstreams are all
+                # cached have none, so their injected planes would never
+                # reach a worker.  Dependent graphs are the rare case —
+                # run the dirty subgraph serially there.
+                from repro.engine.backends import SerialBackend
+
+                backend = SerialBackend()
+            backend.execute(
+                filtered,
+                EngineContext(plankton=plankton, policies=policy_list),
+                aggregator,
+            )
+            dirty_results = {
+                original: aggregator.results[new_id]
+                for original, new_id in id_map.items()
+                if new_id in aggregator.results
+                and not aggregator.results[new_id].cancelled
+            }
+        else:
+            dirty_results = {}
+
+        # ---------------------------------------------------------- ordered merge
+        # Walk the full graph in task order, exactly like a cold serial run:
+        # merge each task's result and stop at the first violating task.  A
+        # dirty task the engine cancelled before the stop point (possible
+        # with the process backend's racy early stop) is recomputed on
+        # demand so the merged prefix is always complete.
+        final_results: Dict[int, TaskResult] = {}
+        for task in graph.tasks:
+            task_result = cached_results.get(task.task_id)
+            if task_result is None:
+                task_result = dirty_results.get(task.task_id)
+            if task_result is None:
+                upstream: Dict[int, List] = {}
+                for dependency_id in task.depends_on:
+                    upstream_spec = spec_by_id[dependency_id]
+                    produced = final_results.get(dependency_id)
+                    upstream.setdefault(upstream_spec.pec_index, []).extend(
+                        produced.data_planes if produced is not None else []
+                    )
+                # A dirty task the engine cancelled (already counted as a
+                # recompute at triage time) — run it in-process now.
+                task_result = execute_task(
+                    plankton, policy_list, task, upstream, should_cancel=None
+                )
+            final_results[task.task_id] = task_result
+            partial = VerificationResult(policy_names=result.policy_names)
+            for run in task_result.runs:
+                partial.record(run)
+            result.merge(partial)
+            if task_result.has_violation and self.options.stop_at_first_violation:
+                break
+
+        # ---------------------------------------------------------- cache refill
+        # Results can come from the ordered merge *or* from engine tasks
+        # completed after the merge's early-stop break — both are valid and
+        # cacheable; only genuinely missing/cancelled tasks block an entry.
+        for pec_index, tasks in tasks_by_pec.items():
+            if pec_index not in dirty:
+                continue
+            results = [
+                final_results.get(task.task_id) or dirty_results.get(task.task_id)
+                for task in tasks
+            ]
+            if any(r is None or r.cancelled for r in results):
+                continue  # incomplete PECs (early stop) are not cacheable
+            self.cache.store(
+                fingerprints[pec_index],
+                {
+                    "kind": "verify",
+                    "pec_index": pec_index,
+                    "tasks": [
+                        {
+                            "failure": encode_failure(task.failure),
+                            "runs": [encode_run(run) for run in task_result.runs],
+                            "data_planes": [
+                                encode_data_plane(plane)
+                                for plane in task_result.data_planes
+                            ],
+                        }
+                        for task, task_result in zip(tasks, results)
+                    ],
+                },
+            )
+            # The impact-invalidation layer has done its job for this PEC:
+            # a fresh result is in the cache.  PECs whose recompute was cut
+            # short (or that this request never expanded) stay pending.
+            self._impact_pending["verify"].discard(pec_index)
+        stats.cache_entries = len(self.cache)
+        self.cache.save()
+
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @staticmethod
+    def _decode_verify_entry(entry: Dict, tasks) -> Optional[Dict[int, object]]:
+        """Rebuild the per-task results of one cached PEC entry.
+
+        Returns None (treat as a miss) when the entry does not line up with
+        the graph's tasks — a schema drift guard; the fingerprint already
+        covers the task shape.
+        """
+        from repro.engine.graph import TaskResult
+
+        if entry.get("kind") != "verify":
+            return None
+        stored = entry.get("tasks", [])
+        if len(stored) != len(tasks):
+            return None
+        decoded: Dict[int, object] = {}
+        for task, payload in zip(tasks, stored):
+            if tuple(payload["failure"]) != tuple(task.failure.failed_links):
+                return None
+            decoded[task.task_id] = TaskResult(
+                task_id=task.task_id,
+                runs=[decode_run(run) for run in payload["runs"]],
+                data_planes=[
+                    decode_data_plane(plane) for plane in payload["data_planes"]
+                ],
+            )
+        return decoded
+
+    # ------------------------------------------------------------------ transients
+    def verify_transients(
+        self,
+        properties: Sequence,
+        transient=None,
+        failures=None,
+        initial_events: Sequence[object] = (),
+        pecs: Optional[Sequence[PacketEquivalenceClass]] = None,
+    ):
+        """Run (or re-run) transient campaigns for every BGP-bearing PEC.
+
+        Clean PECs are served from the cache (one entry per PEC and
+        transient payload); dirty ones route through the engine exactly as
+        :func:`repro.transient.explorer.analyze_pec_transients_over_failures`
+        would run them.  Results with ``collect_converged=True`` carry
+        non-JSON state and are never cached.
+        """
+        from repro.engine.graph import build_transient_task_graph
+        from repro.transient.explorer import (
+            TransientCampaignResult,
+            TransientOptions,
+            TransientTaskConfig,
+            analyze_pec_transients_over_failures,
+        )
+
+        plankton = self.plankton
+        transient = transient or TransientOptions()
+        config = TransientTaskConfig(
+            properties=tuple(properties),
+            options=transient,
+            initial_events=tuple(initial_events),
+        )
+        cacheable = not transient.collect_converged
+        options = self.options
+        if options.stop_at_first_violation != transient.stop_at_first_violation:
+            options = dataclasses.replace(
+                options, stop_at_first_violation=transient.stop_at_first_violation
+            )
+        run_plankton = (
+            plankton if options is self.options else Plankton(plankton.network, options)
+        )
+        base = pec_base_fingerprints(
+            plankton.network, plankton.pecs, plankton.dependency_graph
+        )
+        impact_dirty = self._impact_pending["transient"]
+
+        started = time.perf_counter()
+        campaign = TransientCampaignResult()
+        stats = IncrementalRunStats(
+            impacted_pecs=sorted(impact_dirty),
+            delta_summary=self.last_delta.summary() if self.last_delta else "",
+        )
+        target = [pec for pec in (pecs if pecs is not None else plankton.pecs) if pec.has_bgp()]
+        for pec in target:
+            graph = build_transient_task_graph(
+                plankton.network,
+                plankton.pec_by_index(pec.index),
+                options,
+                config,
+                failures=failures,
+            )
+            campaign.failure_scenarios = max(
+                campaign.failure_scenarios, graph.failure_scenarios
+            )
+            shape = tuple(tuple(task.failure.failed_links) for task in graph.tasks)
+            fingerprint = transient_fingerprint(base[pec.index], config, options, shape)
+            stats.pecs_total += 1
+            stats.tasks_total += len(graph.tasks)
+            entry = None
+            if cacheable and pec.index not in impact_dirty:
+                entry = self.cache.lookup(fingerprint)
+            if entry is not None and entry.get("kind") == "transient":
+                runs = [decode_transient_run(payload) for payload in entry["runs"]]
+                stats.pecs_from_cache += 1
+                stats.tasks_from_cache += len(graph.tasks)
+            else:
+                sub = analyze_pec_transients_over_failures(
+                    plankton.network,
+                    pec,
+                    properties,
+                    transient=transient,
+                    # The scenarios were already enumerated (and LEC-reduced)
+                    # for the fingerprint's task shape; reuse them instead of
+                    # re-deriving the graph inside the campaign runner.
+                    failures=[task.failure for task in graph.tasks],
+                    initial_events=initial_events,
+                    plankton=run_plankton,
+                )
+                runs = sub.runs
+                stats.pecs_recomputed += 1
+                stats.tasks_recomputed += len(graph.tasks)
+                stats.dirty_pecs.append(pec.index)
+                prefixes = sum(1 for _prefix, devices in pec.bgp_origins if devices)
+                complete = len(runs) == len(graph.tasks) * prefixes
+                if cacheable and complete:
+                    self.cache.store(
+                        fingerprint,
+                        {
+                            "kind": "transient",
+                            "pec_index": pec.index,
+                            "runs": [encode_transient_run(run) for run in runs],
+                        },
+                    )
+                    # As in verify(): the impact layer is satisfied for this
+                    # PEC only once a fresh result is actually cached.
+                    self._impact_pending["transient"].discard(pec.index)
+            campaign.runs.extend(runs)
+            if transient.stop_at_first_violation and any(run.violations for run in runs):
+                break
+        stats.dirty_pecs.sort()
+        stats.cache_entries = len(self.cache)
+        self.cache.save()
+        campaign.elapsed_seconds = time.perf_counter() - started
+        campaign.incremental = stats
+        return campaign

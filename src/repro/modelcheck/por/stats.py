@@ -38,6 +38,9 @@ class ReductionStatistics:
         sleep_requeues: Re-expansions of an already-visited state with a
             strictly smaller sleep set (the state-matching soundness rule;
             such re-expansions never re-count the state).
+        sleep_fallbacks: Expansions re-run with the sleep set ignored
+            because every enabled delivery was asleep (priority-frontier
+            descents would otherwise dead-end on a budgeted search).
         proviso_fallbacks: Ample sets abandoned at expansion time because a
             member turned out to be visible (changed a best path), widening
             the expansion back to the full enabled set.
@@ -51,6 +54,7 @@ class ReductionStatistics:
     transitions_expanded: int = 0
     transitions_slept: int = 0
     sleep_requeues: int = 0
+    sleep_fallbacks: int = 0
     proviso_fallbacks: int = 0
     depth_pruned: int = 0
 
@@ -72,6 +76,7 @@ class ReductionStatistics:
         self.transitions_expanded += other.transitions_expanded
         self.transitions_slept += other.transitions_slept
         self.sleep_requeues += other.sleep_requeues
+        self.sleep_fallbacks += other.sleep_fallbacks
         self.proviso_fallbacks += other.proviso_fallbacks
         self.depth_pruned += other.depth_pruned
 
@@ -92,6 +97,7 @@ class ReductionStatistics:
             "transitions_expanded": self.transitions_expanded,
             "transitions_slept": self.transitions_slept,
             "sleep_requeues": self.sleep_requeues,
+            "sleep_fallbacks": self.sleep_fallbacks,
             "proviso_fallbacks": self.proviso_fallbacks,
             "depth_pruned": self.depth_pruned,
             "transition_reduction_ratio": round(self.transition_reduction_ratio(), 2),

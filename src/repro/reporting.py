@@ -86,6 +86,8 @@ def result_to_dict(
     }
     if include_pec_runs:
         document["pec_runs"] = [pec_run_to_dict(run) for run in result.pec_runs]
+    if result.incremental is not None:
+        document["incremental"] = result.incremental.as_dict()
     return document
 
 
@@ -111,6 +113,16 @@ def render_markdown(result: VerificationResult, title: Optional[str] = None) -> 
     lines.append(f"| converged states checked | {result.total_converged_states} |")
     lines.append(f"| state expansions | {result.total_states_expanded} |")
     lines.append(f"| elapsed | {result.elapsed_seconds:.3f} s |")
+    incremental = result.incremental
+    if incremental is not None:
+        lines.append(f"| PECs served from cache | {incremental.pecs_from_cache} |")
+        lines.append(f"| PECs recomputed | {incremental.pecs_recomputed} |")
+        lines.append(
+            f"| tasks cached / recomputed | "
+            f"{incremental.tasks_from_cache} / {incremental.tasks_recomputed} |"
+        )
+        if incremental.delta_summary:
+            lines.append(f"| config delta | {incremental.delta_summary} |")
     lines.append("")
 
     if result.violations:
@@ -166,7 +178,7 @@ def transient_result_to_dict(result) -> Dict[str, object]:
 def transient_campaign_to_dict(campaign) -> Dict[str, object]:
     """The JSON-serialisable form of a transient campaign
     (:class:`repro.transient.TransientCampaignResult`)."""
-    return {
+    document: Dict[str, object] = {
         "holds": campaign.holds,
         "failure_scenarios": campaign.failure_scenarios,
         "elapsed_seconds": round(campaign.elapsed_seconds, 6),
@@ -180,6 +192,10 @@ def transient_campaign_to_dict(campaign) -> Dict[str, object]:
             for run in campaign.runs
         ],
     }
+    incremental = getattr(campaign, "incremental", None)
+    if incremental is not None:
+        document["incremental"] = incremental.as_dict()
+    return document
 
 
 def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
@@ -199,6 +215,14 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
     )
     lines.append(f"Transient properties: {verdict}")
     lines.append(f"Failure scenarios: {campaign.failure_scenarios}")
+    incremental = getattr(campaign, "incremental", None)
+    if incremental is not None:
+        lines.append("")
+        lines.append(
+            f"Cache: {incremental.pecs_from_cache}/{incremental.pecs_total} PEC(s) "
+            f"served from cache, {incremental.pecs_recomputed} recomputed"
+            + (f" — {incremental.delta_summary}" if incremental.delta_summary else "")
+        )
     lines.append("")
     lines.append("| failures | prefix | verdict | states | converged | truncated | reduction |")
     lines.append("|---|---|---|---|---|---|---|")
@@ -235,6 +259,19 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
 
 
 # --------------------------------------------------------------------------- files
+def write_transient_report(campaign, path: PathLike, title: Optional[str] = None) -> FilePath:
+    """Write a transient campaign to ``path``; JSON for ``.json``, Markdown
+    otherwise (the same suffix dispatch as :func:`write_report`)."""
+    file_path = FilePath(path)
+    if file_path.suffix.lower() == ".json":
+        file_path.write_text(
+            json.dumps(transient_campaign_to_dict(campaign), indent=2) + "\n"
+        )
+    else:
+        file_path.write_text(render_transient_markdown(campaign, title=title))
+    return file_path
+
+
 def write_report(
     result: VerificationResult,
     path: PathLike,

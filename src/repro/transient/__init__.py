@@ -11,6 +11,7 @@ interleavings, checking transient properties in every reachable state.
 from repro.transient.explorer import (
     Converge,
     FailSession,
+    FRONTIER_MODES,
     NaiveTransientAnalyzer,
     POR_MODES,
     TransientAnalysisResult,
@@ -23,6 +24,7 @@ from repro.transient.explorer import (
     analyze_pec_transients,
     analyze_pec_transients_over_failures,
 )
+from repro.transient.witness import minimize_witness
 from repro.transient.properties import (
     AlwaysReaches,
     TransientBlackHoleFreedom,
@@ -33,6 +35,8 @@ from repro.transient.properties import (
 
 __all__ = [
     "Converge",
+    "FRONTIER_MODES",
+    "minimize_witness",
     "FailSession",
     "NaiveTransientAnalyzer",
     "POR_MODES",

@@ -58,6 +58,8 @@ interleaving.
 from __future__ import annotations
 
 import copy
+import heapq
+import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -89,6 +91,9 @@ from repro.transient.properties import TransientForwarding, TransientProperty
 #: Accepted values of :attr:`TransientOptions.por`.
 POR_MODES = ("ample", "sleep", "full")
 
+#: Accepted values of :attr:`TransientOptions.frontier`.
+FRONTIER_MODES = ("fifo", "priority")
+
 
 @dataclass(frozen=True)
 class TransientOptions:
@@ -98,6 +103,34 @@ class TransientOptions:
     sleep sets, the default), ``"sleep"`` (sleep sets only — prunes
     redundant transitions but visits every state), or ``"full"`` (no
     reduction — the oracle mode the equivalence tests pin against).
+
+    ``frontier`` selects the exploration order: ``"fifo"`` (plain BFS, the
+    default and the order the naive oracle pins) or ``"priority"``, a
+    deepest-first heap with fewest-pending-channels tie-breaking — the
+    search commits to the branch closest to convergence and backtracks
+    locally.  Forced singleton amples — states where the reduction proved
+    only one (harmless) delivery needs exploring — strictly shrink the
+    pending set, so forced chains drain straight through; BFS instead
+    parks every chain link behind the combinatorial frontier of the same
+    depth.
+    Convergence on the fig7a fat-tree instance sits ~64 deliveries deep
+    while a 20k-state BFS reaches depth ~9, so this is the difference
+    between small ``max_states`` budgets reaching converged states or
+    none at all.  When a descent meets a state whose entire expansion is
+    asleep it re-expands with the sleep set ignored
+    (``ReductionStatistics.sleep_fallbacks``) — on a budgeted search the
+    sibling branch covering those interleavings may never be reached.  On
+    a complete (un-truncated, un-depth-pruned) search, verdicts and
+    converged states are order-independent in every mode, and ``"full"``
+    explorations visit the identical state set; ample/sleep priority runs
+    may visit a few extra states through those fallbacks.  Truncated
+    searches cover different slices, which is the point.
+
+    ``minimize_witnesses`` post-processes every violation witness through
+    :func:`repro.transient.witness.minimize_witness`: deliveries
+    independent of the violation's receiver chain are dropped while the
+    shortened sequence still replays to the same violating property and
+    message.
     """
 
     max_states: int = 20_000
@@ -105,10 +138,16 @@ class TransientOptions:
     stop_at_first_violation: bool = True
     collect_converged: bool = False
     por: str = "ample"
+    frontier: str = "fifo"
+    minimize_witnesses: bool = False
 
     def __post_init__(self) -> None:
         if self.por not in POR_MODES:
             raise ValueError(f"unknown POR mode {self.por!r}; choose from {POR_MODES}")
+        if self.frontier not in FRONTIER_MODES:
+            raise ValueError(
+                f"unknown frontier mode {self.frontier!r}; choose from {FRONTIER_MODES}"
+            )
 
 
 # --------------------------------------------------------------------------- initial events
@@ -179,7 +218,13 @@ def _apply_initial_event(stepper: SpvpStepper, state: SpvpState, event) -> SpvpS
 
 @dataclass(frozen=True)
 class TransientViolation:
-    """One transient property violation with the event sequence reaching it."""
+    """One transient property violation with the event sequence reaching it.
+
+    ``depth`` is the search depth at which the violation was *discovered*;
+    with :attr:`TransientOptions.minimize_witnesses` the recorded witness
+    may be a shorter replay of that discovery, so its length can be below
+    ``depth`` (plus any initial-event prefix).
+    """
 
     property_name: str
     message: str
@@ -300,6 +345,8 @@ class TransientAnalyzer:
         stop_at_first_violation: bool = True,
         collect_converged: bool = False,
         por: str = "ample",
+        frontier: str = "fifo",
+        minimize_witnesses: bool = False,
         options: Optional[TransientOptions] = None,
     ) -> None:
         if options is None:
@@ -309,6 +356,8 @@ class TransientAnalyzer:
                 stop_at_first_violation=stop_at_first_violation,
                 collect_converged=collect_converged,
                 por=por,
+                frontier=frontier,
+                minimize_witnesses=minimize_witnesses,
             )
         else:
             overridden = {
@@ -319,6 +368,8 @@ class TransientAnalyzer:
                     ("stop_at_first_violation", stop_at_first_violation),
                     ("collect_converged", collect_converged),
                     ("por", por),
+                    ("frontier", frontier),
+                    ("minimize_witnesses", minimize_witnesses),
                 )
                 if value != TransientOptions.__dataclass_fields__[name].default
             }
@@ -334,6 +385,12 @@ class TransientAnalyzer:
         self.stop_at_first_violation = options.stop_at_first_violation
         self.collect_converged = options.collect_converged
         self.por = options.por
+        self.frontier_mode = options.frontier
+        self.minimize_witnesses = options.minimize_witnesses
+        #: Set for the duration of one analyze() call when witnesses are
+        #: minimised (the replayer needs the stepper and the search root).
+        self._stepper: Optional[SpvpStepper] = None
+        self._root: Optional[SpvpState] = None
 
     # ------------------------------------------------------------------ exploration
     def analyze(
@@ -359,6 +416,9 @@ class TransientAnalyzer:
         root = stepper.initial_state()
         for event in initial_events:
             root = _apply_initial_event(stepper, root, event)
+        self._stepper = stepper
+        self._root = root
+        use_priority = self.frontier_mode == "priority"
 
         use_sleep = self.por in ("ample", "sleep")
         independence = ChannelIndependence(self.instance) if use_sleep else None
@@ -368,14 +428,29 @@ class TransientAnalyzer:
 
         #: fingerprint -> the sleep set the state was admitted/last queued with.
         visited: Dict[int, FrozenSet[Channel]] = {root.fingerprint(hasher): EMPTY_SLEEP}
-        #: (state, depth, sleep set, fresh).  ``fresh`` is False only for the
-        #: sleep-set requeues of already-counted states.
-        frontier: Deque[Tuple[SpvpState, int, FrozenSet[Channel], bool]] = deque(
-            [(root, 0, EMPTY_SLEEP, True)]
-        )
+        #: Frontier entries are (state, depth, sleep set, fresh); ``fresh``
+        #: is False only for the sleep-set requeues of already-counted
+        #: states.  The fifo frontier is plain BFS; the priority frontier
+        #: is a deepest-first heap with fewest-pending-channels tie-breaks
+        #: (insertion order last, keeping the search deterministic).
+        fifo: Deque[Tuple[SpvpState, int, FrozenSet[Channel], bool]] = deque()
+        heap: List[Tuple[int, int, int, SpvpState, int, FrozenSet[Channel], bool]] = []
+        counter = itertools.count()
 
-        while frontier:
-            state, depth, sleep, fresh = frontier.popleft()
+        def push(state: SpvpState, depth: int, sleep: FrozenSet[Channel], fresh: bool) -> None:
+            if use_priority:
+                heapq.heappush(
+                    heap, (-depth, len(state.pending), next(counter), state, depth, sleep, fresh)
+                )
+            else:
+                fifo.append((state, depth, sleep, fresh))
+
+        push(root, 0, EMPTY_SLEEP, True)
+        while fifo or heap:
+            if use_priority:
+                _neg_depth, _key, _seq, state, depth, sleep, fresh = heapq.heappop(heap)
+            else:
+                state, depth, sleep, fresh = fifo.popleft()
             converged = state.is_converged()
             if fresh:
                 result.states_explored += 1
@@ -406,11 +481,33 @@ class TransientAnalyzer:
             executed: List[Channel] = []
             expanded_count = 0
             index = 0
+            active_sleep = sleep
+            slept_here = 0
             while index < len(expansion):
                 channel = expansion[index]
                 index += 1
-                if use_sleep and channel in sleep:
+                if use_sleep and channel in active_sleep:
                     reduction.transitions_slept += 1
+                    slept_here += 1
+                    if (
+                        use_priority
+                        and index == len(expansion)
+                        and expanded_count == 0
+                    ):
+                        # Every enabled delivery is asleep.  On a complete
+                        # search the covering sibling branch gets explored
+                        # eventually, but a budgeted priority descent may
+                        # never reach it — and this state would become a
+                        # false dead end on the only drained path.  Re-run
+                        # the expansion ignoring the sleep set (sound:
+                        # exploring more interleavings never loses states),
+                        # and un-book the skips — those transitions are
+                        # about to be expanded, not pruned.
+                        reduction.sleep_fallbacks += 1
+                        reduction.transitions_slept -= slept_here
+                        slept_here = 0
+                        active_sleep = EMPTY_SLEEP
+                        index = 0
                     continue
                 _event, successor = stepper.deliver(state, channel)
                 if reduced:
@@ -429,7 +526,7 @@ class TransientAnalyzer:
                         present = set(expansion)
                         expansion.extend(c for c in enabled if c not in present)
                 succ_sleep = (
-                    successor_sleep(independence, sleep, executed, channel)
+                    successor_sleep(independence, active_sleep, executed, channel)
                     if use_sleep
                     else EMPTY_SLEEP
                 )
@@ -442,13 +539,13 @@ class TransientAnalyzer:
                         result.truncated = True
                         break
                     visited[fingerprint] = succ_sleep
-                    frontier.append((successor, depth + 1, succ_sleep, True))
+                    push(successor, depth + 1, succ_sleep, True)
                 elif use_sleep:
                     merged = merged_sleep_for_requeue(stored, succ_sleep)
                     if merged is not None:
                         visited[fingerprint] = merged
                         reduction.sleep_requeues += 1
-                        frontier.append((successor, depth + 1, merged, False))
+                        push(successor, depth + 1, merged, False)
             if fresh:
                 reduction.observe_expansion(
                     enabled=len(enabled), expanded=expanded_count, reduced=reduced
@@ -460,6 +557,8 @@ class TransientAnalyzer:
                 reduction.transitions_enabled += len(enabled)
                 reduction.transitions_expanded += expanded_count
 
+        self._stepper = None
+        self._root = None
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -478,6 +577,13 @@ class TransientAnalyzer:
             message = prop.check(forwarding, converged)
             if message is None:
                 continue
+            witness_state = state
+            if self.minimize_witnesses and self._stepper is not None:
+                from repro.transient.witness import minimize_witness
+
+                witness_state = minimize_witness(
+                    self._stepper, self._root, state, prop, message
+                )
             result.violations.append(
                 TransientViolation(
                     property_name=prop.name,
@@ -485,7 +591,7 @@ class TransientAnalyzer:
                     depth=depth,
                     converged=converged,
                     witness=tuple(
-                        event.describe() for event in state.witness_events()
+                        event.describe() for event in witness_state.witness_events()
                     ),
                 )
             )
@@ -646,6 +752,9 @@ class TransientCampaignResult:
     runs: List[TransientCampaignRun] = field(default_factory=list)
     failure_scenarios: int = 0
     elapsed_seconds: float = 0.0
+    #: Cache accounting when the campaign ran through the incremental
+    #: service (:class:`repro.incremental.service.IncrementalRunStats`).
+    incremental: Optional[object] = None
 
     @property
     def holds(self) -> bool:

@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     ("coverage_gap_bgp_nondeterminism.py", ["coverage", "violating event sequence"]),
     ("transient_analysis.py", ["micro-loop", "transient"]),
     ("incremental_dataplane_monitor.py", ["rules imported", "ok"]),
+    ("incremental_reverify.py", ["from cache", "delta", "restarting"]),
 ]
 
 

@@ -247,3 +247,225 @@ class TestParser:
                 ["verify", "--topology", str(workspace / "net.topo"),
                  "--config", str(workspace / "good.cfg")]
             )
+
+
+# --------------------------------------------------------------------------- transient + incremental CLI
+BGP_TOPOLOGY_TEXT = """
+topology square
+node o role edge
+node m role core
+node a role core
+node b role core
+link o m weight 10
+link m a weight 10
+link m b weight 10
+link a b weight 10
+"""
+
+BGP_CONFIG = """
+device o
+  bgp 65000
+    network 10.9.0.0/24
+    neighbor m remote-as 65001
+device m
+  bgp 65001
+    neighbor o remote-as 65000
+    neighbor a remote-as 65002
+    neighbor b remote-as 65003
+device a
+  bgp 65002
+    neighbor m remote-as 65001
+    neighbor b remote-as 65003
+device b
+  bgp 65003
+    neighbor m remote-as 65001
+    neighbor a remote-as 65002
+"""
+
+
+@pytest.fixture
+def bgp_workspace(tmp_path):
+    (tmp_path / "bgp.topo").write_text(BGP_TOPOLOGY_TEXT)
+    (tmp_path / "bgp.cfg").write_text(BGP_CONFIG)
+    return tmp_path
+
+
+class TestTransientCommand:
+    def test_holds_from_cold_start(self, bgp_workspace, capsys):
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--max-states", "500",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "HOLDS" in out
+
+    def test_session_flap_violation_sets_exit_code(self, bgp_workspace, capsys):
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg",
+            "--fail-session", "o,m", "--max-states", "2000",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATION
+        assert "VIOLATED" in out
+        assert "transient forwarding loop" in out
+
+    def test_priority_frontier_and_witness_minimisation_flags(self, bgp_workspace, capsys):
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg",
+            "--fail-session", "o,m", "--frontier", "priority",
+            "--minimize-witness", "--por", "full",
+        ])
+        assert code == EXIT_VIOLATION
+        assert "event sequence" in capsys.readouterr().out
+
+    def test_json_output_and_report(self, bgp_workspace, tmp_path, capsys):
+        report = tmp_path / "transient.md"
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--json",
+            "--report", report, "--max-states", "300",
+        ])
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_HOLDS
+        assert document["holds"] is True
+        assert document["runs"]
+        assert "Transient analysis" in report.read_text()
+
+    def test_backend_flag_is_plumbed(self, bgp_workspace, capsys):
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg",
+            "--cores", "2", "--backend", "process", "--max-states", "300",
+        ])
+        assert code == EXIT_HOLDS
+
+    def test_unknown_backend_rejected(self, bgp_workspace):
+        with pytest.raises(SystemExit):
+            _run([
+                "transient", "--topology", bgp_workspace / "bgp.topo",
+                "--config", bgp_workspace / "bgp.cfg", "--backend", "quantum",
+            ])
+
+    def test_unknown_fail_session_device_is_an_input_error(self, bgp_workspace, capsys):
+        code = _run([
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--fail-session", "o,zz",
+        ])
+        assert code == EXIT_ERROR
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_cache_dir_serves_second_run_from_cache(self, bgp_workspace, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--json",
+            "--cache-dir", cache, "--max-states", "300",
+        ]
+        assert _run(args) == EXIT_HOLDS
+        capsys.readouterr()
+        assert _run(args) == EXIT_HOLDS
+        document = json.loads(capsys.readouterr().out)
+        assert document["incremental"]["pecs_from_cache"] == document["incremental"]["pecs_total"]
+
+    def test_no_bgp_prefixes_is_a_clean_no_op(self, workspace, capsys):
+        code = _run([
+            "transient", "--topology", workspace / "net.topo",
+            "--config", workspace / "good.cfg",
+        ])
+        assert code == EXIT_HOLDS
+        assert "no BGP-originated prefixes" in capsys.readouterr().out
+
+
+class TestVerifyCacheDir:
+    def test_cache_dir_reports_incremental_accounting(self, workspace, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "loop", "--cache-dir", cache, "--json",
+        ]
+        assert _run(args) == EXIT_HOLDS
+        first = json.loads(capsys.readouterr().out)
+        assert first["incremental"]["pecs_recomputed"] == first["incremental"]["pecs_total"]
+        assert _run(args) == EXIT_HOLDS
+        second = json.loads(capsys.readouterr().out)
+        assert second["incremental"]["pecs_from_cache"] == second["incremental"]["pecs_total"]
+        assert second["holds"] is first["holds"]
+
+    def test_cache_dir_composes_with_backend_flag(self, workspace, tmp_path):
+        cache = tmp_path / "cache"
+        assert _run([
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "good.cfg",
+            "--policy", "loop", "--cache-dir", cache,
+            "--cores", "2", "--backend", "process",
+        ]) == EXIT_HOLDS
+
+    def test_violation_exit_code_with_cache(self, workspace, tmp_path):
+        cache = tmp_path / "cache"
+        args = [
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / "looping.cfg",
+            "--policy", "loop", "--cache-dir", cache,
+        ]
+        assert _run(args) == EXIT_VIOLATION
+        assert _run(args) == EXIT_VIOLATION
+
+
+class TestDiffVerifyCommand:
+    def test_clean_to_clean_holds(self, workspace, capsys):
+        code = _run([
+            "diff-verify", workspace / "good.cfg", workspace / "good.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_HOLDS
+        assert "no configuration changes" in out
+
+    def test_regression_is_detected_and_explained(self, workspace, capsys):
+        code = _run([
+            "diff-verify", workspace / "good.cfg", workspace / "looping.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATION
+        assert "static-route change" in out
+        assert "VIOLATED" in out
+
+    def test_json_document_carries_old_new_and_delta(self, workspace, capsys):
+        code = _run([
+            "diff-verify", workspace / "good.cfg", workspace / "looping.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop", "--json",
+        ])
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_VIOLATION
+        assert document["old"]["holds"] is True
+        assert document["new"]["holds"] is False
+        assert "static-route" in document["delta"]
+
+    def test_cache_dir_and_backend_are_plumbed(self, workspace, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        code = _run([
+            "diff-verify", workspace / "good.cfg", workspace / "good.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop",
+            "--cache-dir", cache, "--backend", "serial", "--cores", "3",
+        ])
+        assert code == EXIT_HOLDS
+        assert (cache / "plankton_cache.json").exists()
+
+    def test_missing_config_file_is_an_input_error(self, workspace, capsys):
+        code = _run([
+            "diff-verify", workspace / "good.cfg", workspace / "missing.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop",
+        ])
+        assert code == EXIT_ERROR
+
+    def test_report_file_is_written(self, workspace, tmp_path):
+        report = tmp_path / "diff.md"
+        _run([
+            "diff-verify", workspace / "good.cfg", workspace / "looping.cfg",
+            "--topology", workspace / "net.topo", "--policy", "loop",
+            "--report", report,
+        ])
+        text = report.read_text()
+        assert "PECs served from cache" in text or "PECs recomputed" in text

@@ -1,0 +1,593 @@
+"""Tests for the incremental re-verification subsystem (`repro.incremental`)."""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import ebgp_rfc7938, ibgp_over_ospf
+from repro.config.objects import (
+    BgpNeighbor,
+    MatchConditions,
+    OspfInterface,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+    SetActions,
+    StaticRoute,
+)
+from repro.core.options import PlanktonOptions
+from repro.core.verifier import Plankton
+from repro.incremental import (
+    IncrementalVerifier,
+    ResultCache,
+    diff_networks,
+    impacted_pecs,
+    pec_base_fingerprints,
+    result_signature,
+    transient_campaign_signature,
+)
+from repro.incremental.cache import (
+    decode_data_plane,
+    decode_run,
+    encode_data_plane,
+    encode_run,
+    verification_fingerprints,
+)
+from repro.netaddr import Prefix
+from repro.policies import LoopFreedom, Reachability
+from repro.topology import bgp_fat_tree
+from repro.topology.generators import ring
+from repro.transient import TransientLoopFreedom, TransientOptions
+
+
+def fat_tree_network():
+    return ebgp_rfc7938(bgp_fat_tree(2))
+
+
+def edit_route_map(network, device="edge0_0"):
+    """Append a clause to the device's EXPORT_OWN map (prefix-scoped change)."""
+    edited = copy.deepcopy(network)
+    route_map = edited.device(device).route_maps["EXPORT_OWN"]
+    own = route_map.clauses[0].match.prefixes[0]
+    route_map.add_clause(
+        RouteMapClause(
+            sequence=20,
+            permit=True,
+            match=MatchConditions(prefixes=[own]),
+            actions=SetActions(med=7),
+        )
+    )
+    return edited
+
+
+# --------------------------------------------------------------------------- delta
+class TestConfigDelta:
+    def test_identical_networks_produce_empty_delta(self):
+        network = fat_tree_network()
+        delta = diff_networks(network, copy.deepcopy(network))
+        assert delta.is_empty
+        assert delta.summary() == "no configuration changes"
+
+    def test_route_map_edit_is_a_prefix_scoped_filter_change(self):
+        network = fat_tree_network()
+        edited = edit_route_map(network)
+        delta = diff_networks(network, edited)
+        assert not delta.is_empty
+        assert len(delta.filter_changes) == 1
+        change = delta.filter_changes[0]
+        assert change.device == "edge0_0"
+        assert change.name == "EXPORT_OWN"
+        assert not change.matches_everything
+        assert Prefix("10.0.0.0/24") in change.match_prefixes
+        assert delta.changed_devices() == ["edge0_0"]
+
+    def test_unconstrained_clause_matches_everything(self):
+        network = fat_tree_network()
+        edited = copy.deepcopy(network)
+        edited.device("edge0_0").route_maps["EXPORT_OWN"].add_clause(
+            RouteMapClause(sequence=30, permit=True)
+        )
+        delta = diff_networks(network, edited)
+        assert delta.filter_changes[0].matches_everything
+
+    def test_session_and_process_changes(self):
+        network = fat_tree_network()
+        edited = copy.deepcopy(network)
+        bgp = edited.device("agg0_0").bgp
+        session = bgp.neighbor("edge0_0")
+        bgp.add_neighbor(BgpNeighbor(peer=session.peer, remote_asn=session.remote_asn, weight=5))
+        bgp.default_local_pref = 150
+        delta = diff_networks(network, edited)
+        assert ("agg0_0", "edge0_0") in delta.session_changes
+        assert any("default_local_pref" in entry for entry in delta.bgp_process_changes)
+
+    def test_announce_static_and_ospf_changes(self):
+        network = fat_tree_network()
+        edited = copy.deepcopy(network)
+        edited.device("edge0_0").bgp.networks.append(Prefix("10.77.0.0/24"))
+        edited.device("core0").static_routes.append(
+            StaticRoute(prefix=Prefix("10.0.0.0/24"), drop=True)
+        )
+        delta = diff_networks(network, edited)
+        assert ("edge0_0", "bgp", Prefix("10.77.0.0/24")) in delta.announce_changes
+        assert ("core0", Prefix("10.0.0.0/24")) in delta.static_changes
+
+    def test_link_and_node_changes_touch_topology(self):
+        from repro.topology import fat_tree
+
+        old = ebgp_rfc7938(bgp_fat_tree(2))
+        new_topology = bgp_fat_tree(2)
+        # An extra edge-to-edge link (no BGP session rides on it).
+        new_topology.add_link("edge0_0", "edge1_0", weight=10)
+        new = ebgp_rfc7938(new_topology)
+        delta = diff_networks(old, new)
+        assert delta.touches_topology
+        assert delta.link_changes
+
+
+# --------------------------------------------------------------------------- impact
+class TestImpact:
+    def test_route_map_edit_dirties_only_covering_pecs(self):
+        network = fat_tree_network()
+        edited = edit_route_map(network)
+        plankton = Plankton(edited, PlanktonOptions())
+        delta = diff_networks(network, edited)
+        dirty = impacted_pecs(delta, edited, plankton.pecs, plankton.dependency_graph)
+        covering = {
+            pec.index
+            for pec in plankton.pecs
+            if pec.address_range.overlaps(Prefix("10.0.0.0/24").to_range())
+        }
+        assert dirty == covering
+        assert len(dirty) < len(plankton.pecs)
+
+    def test_topology_change_dirties_every_pec(self):
+        network = fat_tree_network()
+        new_topology = bgp_fat_tree(2)
+        new_topology.add_link("edge0_0", "edge1_0", weight=10)
+        edited = ebgp_rfc7938(new_topology)
+        plankton = Plankton(edited, PlanktonOptions())
+        delta = diff_networks(network, edited)
+        dirty = impacted_pecs(delta, edited, plankton.pecs, plankton.dependency_graph)
+        assert dirty == {pec.index for pec in plankton.pecs}
+
+    def test_session_change_dirties_bgp_pecs(self):
+        network = fat_tree_network()
+        edited = copy.deepcopy(network)
+        bgp = edited.device("agg0_0").bgp
+        session = bgp.neighbor("edge0_0")
+        bgp.add_neighbor(BgpNeighbor(peer=session.peer, remote_asn=session.remote_asn, weight=9))
+        plankton = Plankton(edited, PlanktonOptions())
+        delta = diff_networks(network, edited)
+        dirty = impacted_pecs(delta, edited, plankton.pecs, plankton.dependency_graph)
+        assert dirty == {pec.index for pec in plankton.pecs if pec.has_bgp()}
+
+    def test_dirty_upstream_dirties_dependents(self):
+        topology = ring(5)
+        network = ibgp_over_ospf(topology, {"r0": Prefix("200.0.0.0/24")})
+        plankton = Plankton(network, PlanktonOptions())
+        # Withdraw a loopback-adjacent announcement: dirty the loopback PEC
+        # and check the closure pulls in the iBGP-advertised PEC.
+        edited = copy.deepcopy(network)
+        loopback = edited.topology.node("r1").loopback
+        edited.device("r1").ospf.networks.remove(loopback)
+        new_plankton = Plankton(edited, PlanktonOptions())
+        delta = diff_networks(network, edited)
+        dirty = impacted_pecs(delta, edited, new_plankton.pecs, new_plankton.dependency_graph)
+        external = next(
+            pec
+            for pec in new_plankton.pecs
+            if pec.address_range.overlaps(Prefix("200.0.0.0/24").to_range())
+        )
+        assert external.index in dirty
+
+
+# --------------------------------------------------------------------------- fingerprints
+class TestFingerprints:
+    def test_fingerprints_stable_across_equal_configs(self):
+        network = fat_tree_network()
+        copied = copy.deepcopy(network)
+        p1 = Plankton(network, PlanktonOptions())
+        p2 = Plankton(copied, PlanktonOptions())
+        f1 = pec_base_fingerprints(network, p1.pecs, p1.dependency_graph)
+        f2 = pec_base_fingerprints(copied, p2.pecs, p2.dependency_graph)
+        assert f1 == f2
+
+    def test_route_map_edit_changes_only_covering_fingerprints(self):
+        network = fat_tree_network()
+        edited = edit_route_map(network)
+        p1 = Plankton(network, PlanktonOptions())
+        p2 = Plankton(edited, PlanktonOptions())
+        f1 = pec_base_fingerprints(network, p1.pecs, p1.dependency_graph)
+        f2 = pec_base_fingerprints(edited, p2.pecs, p2.dependency_graph)
+        changed = {index for index in f1 if f1[index] != f2.get(index)}
+        covering = {
+            pec.index
+            for pec in p2.pecs
+            if pec.address_range.overlaps(Prefix("10.0.0.0/24").to_range())
+        }
+        assert changed == covering
+
+    def test_unreferenced_route_map_local_pref_still_invalidates(self):
+        # maximum_local_pref scans every map on a device (the §4.1.2 bound
+        # reads it), so even an unreferenced map's local-pref must be in the
+        # fingerprint.
+        network = fat_tree_network()
+        edited = copy.deepcopy(network)
+        edited.device("agg0_0").route_maps["UNUSED"] = RouteMap(
+            name="UNUSED",
+            clauses=[
+                RouteMapClause(
+                    sequence=10, permit=True, actions=SetActions(local_preference=900)
+                )
+            ],
+        )
+        p1 = Plankton(network, PlanktonOptions())
+        p2 = Plankton(edited, PlanktonOptions())
+        f1 = pec_base_fingerprints(network, p1.pecs, p1.dependency_graph)
+        f2 = pec_base_fingerprints(edited, p2.pecs, p2.dependency_graph)
+        assert any(f1[index] != f2.get(index) for index in f1)
+
+    def test_policy_and_options_shape_the_verification_key(self):
+        network = fat_tree_network()
+        plankton = Plankton(network, PlanktonOptions())
+        from repro.engine import build_task_graph
+
+        def keys(policies, options):
+            graph = build_task_graph(
+                network,
+                plankton.pecs,
+                plankton.dependency_graph,
+                policies,
+                options,
+                plankton.pecs,
+            )
+            return verification_fingerprints(
+                network, plankton.pecs, plankton.dependency_graph, policies, options, graph
+            )
+
+        base = keys([LoopFreedom()], PlanktonOptions())
+        other_policy = keys([Reachability()], PlanktonOptions())
+        other_options = keys([LoopFreedom()], PlanktonOptions(stop_at_first_violation=False))
+        assert set(base) == set(other_policy) == set(other_options)
+        assert all(base[i] != other_policy[i] for i in base)
+        assert all(base[i] != other_options[i] for i in base)
+        # cores/backend are execution knobs: same key.
+        same = keys([LoopFreedom()], PlanktonOptions(cores=4, backend="process"))
+        assert base == same
+
+
+# --------------------------------------------------------------------------- cache + codecs
+class TestResultCache:
+    def test_round_trip_run_with_violation_trail_and_planes(self):
+        network = fat_tree_network()
+        options = PlanktonOptions(keep_data_planes=True, stop_at_first_violation=False)
+        result = Plankton(network, options).verify(LoopFreedom())
+        run = result.pec_runs[0]
+        rebuilt = decode_run(json.loads(json.dumps(encode_run(run))))
+        assert rebuilt.pec_index == run.pec_index
+        assert rebuilt.failure == run.failure
+        assert rebuilt.converged_states == run.converged_states
+        assert rebuilt.checked_states == run.checked_states
+        assert rebuilt.suppressed_states == run.suppressed_states
+        assert rebuilt.violations == run.violations
+        assert rebuilt.statistics == run.statistics
+        # DataPlane has no structural __eq__; compare the rendered FIBs.
+        assert [plane.describe() for plane in rebuilt.data_planes] == [
+            plane.describe() for plane in run.data_planes
+        ]
+
+    def test_data_plane_round_trip_preserves_fib_semantics(self):
+        network = fat_tree_network()
+        options = PlanktonOptions(keep_data_planes=True, stop_at_first_violation=False)
+        result = Plankton(network, options).verify(LoopFreedom())
+        plane = result.pec_runs[0].data_planes[0]
+        rebuilt = decode_data_plane(json.loads(json.dumps(encode_data_plane(plane))))
+        assert rebuilt.describe() == plane.describe()
+        assert rebuilt.pec_range == plane.pec_range
+        for device in plane.devices():
+            assert rebuilt.fib(device).entries() == plane.fib(device).entries()
+
+    def test_disk_round_trip_and_torn_file_tolerance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"kind": "verify", "pec_index": 0, "tasks": []})
+        cache.save()
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.lookup("abc")["pec_index"] == 0
+        assert reloaded.hits == 1
+        # A corrupted file loads as empty rather than raising.
+        (tmp_path / ResultCache.FILENAME).write_text("{not json")
+        assert ResultCache(tmp_path)._entries == {}
+
+    def test_schema_version_mismatch_discards_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"kind": "verify"})
+        path = cache.save()
+        document = json.loads(path.read_text())
+        document["schema_version"] = -1
+        path.write_text(json.dumps(document))
+        assert len(ResultCache(tmp_path)) == 0
+
+
+# --------------------------------------------------------------------------- service
+class TestIncrementalVerifier:
+    def test_warm_reverify_hits_every_pec(self):
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        cold = service.verify(LoopFreedom())
+        warm = service.verify(LoopFreedom())
+        assert result_signature(cold) == result_signature(warm)
+        assert warm.incremental.pecs_from_cache == warm.incremental.pecs_total
+        assert warm.incremental.tasks_recomputed == 0
+
+    def test_route_map_edit_recomputes_only_covering_pecs(self):
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        edited = edit_route_map(network)
+        delta = service.update(edited)
+        assert not delta.is_empty
+        result = service.verify(LoopFreedom())
+        assert result.incremental.pecs_recomputed < result.incremental.pecs_total
+        cold = Plankton(edited, PlanktonOptions()).verify(LoopFreedom())
+        assert result_signature(result) == result_signature(cold)
+
+    def test_stop_at_first_violation_matches_cold_run(self):
+        from repro.config.builder import install_loop_inducing_statics
+        from repro.topology import fat_tree
+        from repro.config.builder import ospf_everywhere
+
+        network = ospf_everywhere(fat_tree(2))
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        edited = copy.deepcopy(network)
+        install_loop_inducing_statics(edited, Prefix("10.0.0.0/24"), ["agg0_0", "core0"])
+        service.update(edited)
+        incremental = service.verify(LoopFreedom())
+        cold = Plankton(edited, PlanktonOptions()).verify(LoopFreedom())
+        assert not incremental.holds
+        assert result_signature(incremental) == result_signature(cold)
+
+    def test_different_policy_never_reuses_entries(self):
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        result = service.verify(Reachability())
+        assert result.incremental.pecs_from_cache == 0
+        cold = Plankton(network, PlanktonOptions()).verify(Reachability())
+        assert result_signature(result) == result_signature(cold)
+
+    def test_dependent_pecs_reuse_cached_upstream_planes(self):
+        topology = ring(5)
+        network = ibgp_over_ospf(topology, {"r0": Prefix("200.0.0.0/24")})
+        options = PlanktonOptions(max_failures=1)
+        service = IncrementalVerifier(network, options)
+        policy = Reachability(sources=["r2"], destination_prefix=Prefix("200.0.0.0/24"))
+        service.verify(policy)
+        # Edit a static route covering only the external prefix: the
+        # loopback PECs stay clean, so the dirty external PEC must consume
+        # the *cached* loopback data planes.
+        edited = copy.deepcopy(network)
+        edited.device("r2").static_routes.append(
+            StaticRoute(prefix=Prefix("200.0.0.0/24"), next_hop_node="r1", distance=250)
+        )
+        service.update(edited)
+        result = service.verify(policy)
+        assert result.incremental.pecs_from_cache > 0
+        assert result.incremental.pecs_recomputed > 0
+        cold = Plankton(edited, PlanktonOptions(max_failures=1)).verify(policy)
+        assert result_signature(result) == result_signature(cold)
+
+    def test_transient_campaigns_cache_and_match(self):
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        options = TransientOptions(max_states=200, stop_at_first_violation=False)
+        prop = [TransientLoopFreedom(ignore_converged=True)]
+        cold = service.verify_transients(prop, transient=options)
+        warm = service.verify_transients(prop, transient=options)
+        assert transient_campaign_signature(cold) == transient_campaign_signature(warm)
+        assert warm.incremental.pecs_from_cache == warm.incremental.pecs_total
+        # A route-map edit re-runs only the covering PEC.
+        edited = edit_route_map(network)
+        service.update(edited)
+        after = service.verify_transients(prop, transient=options)
+        assert 0 < after.incremental.pecs_recomputed < after.incremental.pecs_total
+
+    def test_reporting_includes_cache_accounting(self):
+        from repro.reporting import render_markdown, result_to_dict
+
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        result = service.verify(LoopFreedom())
+        document = result_to_dict(result)
+        assert document["incremental"]["pecs_recomputed"] == result.incremental.pecs_total
+        markdown = render_markdown(result)
+        assert "PECs served from cache" in markdown
+
+
+# --------------------------------------------------------------------------- warm restart
+class TestWarmRestart:
+    def test_cache_survives_service_restart_in_process(self, tmp_path):
+        network = fat_tree_network()
+        first = IncrementalVerifier(network, PlanktonOptions(), cache_dir=tmp_path)
+        cold = first.verify(LoopFreedom())
+        second = IncrementalVerifier(
+            fat_tree_network(), PlanktonOptions(), cache_dir=tmp_path
+        )
+        warm = second.verify(LoopFreedom())
+        assert result_signature(cold) == result_signature(warm)
+        assert warm.incremental.pecs_from_cache == warm.incremental.pecs_total
+
+    def test_cache_survives_a_genuinely_fresh_process(self, tmp_path):
+        """Acceptance: persist, reload in a *fresh process*, hit warm."""
+        topo = tmp_path / "net.topo"
+        config = tmp_path / "net.cfg"
+        topo.write_text(
+            "topology tri\n"
+            "node r1 role edge\nnode r2 role core\nnode r3 role core\n"
+            "link r1 r2 weight 10\nlink r2 r3 weight 10\nlink r1 r3 weight 10\n"
+        )
+        config.write_text(
+            "device r1\n  ospf\n    network 10.0.1.0/24\n"
+            "device r2\n  ospf\ndevice r3\n  ospf\n"
+        )
+        cache_dir = tmp_path / "cache"
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        command = [
+            sys.executable, "-m", "repro", "verify",
+            "--topology", str(topo), "--config", str(config),
+            "--policy", "loop", "--cache-dir", str(cache_dir), "--json",
+        ]
+        first = subprocess.run(command, capture_output=True, text=True, env=env)
+        assert first.returncode == 0, first.stderr
+        second = subprocess.run(command, capture_output=True, text=True, env=env)
+        assert second.returncode == 0, second.stderr
+        cold = json.loads(first.stdout)
+        warm = json.loads(second.stdout)
+        assert warm["incremental"]["pecs_from_cache"] == warm["incremental"]["pecs_total"] > 0
+        assert warm["incremental"]["tasks_recomputed"] == 0
+        for key in ("holds", "pecs_analyzed", "converged_states", "states_expanded", "violations"):
+            assert cold[key] == warm[key]
+
+
+class TestPrefixListFingerprintSoundness:
+    """A referenced prefix-list edit that flips matchability for only ONE of
+    a multi-prefix PEC's prefixes must still change the fingerprint (the
+    clause body and its any-prefix matchability are unchanged)."""
+
+    @staticmethod
+    def _network(le_bound):
+        network = fat_tree_network()
+        edge = network.device("edge0_0")
+        # A second, broader announcement nests the rack /24 inside a /16, so
+        # one PEC carries two contributing prefixes (/24 most specific).
+        edge.bgp.networks.append(Prefix("10.0.0.0/16"))
+        agg = network.device("agg0_0")
+        agg.prefix_lists["PL"] = PrefixList(name="PL").add(
+            Prefix("10.0.0.0/16"), ge=16, le=le_bound
+        )
+        agg.route_maps["FROM_EDGE"] = RouteMap(
+            name="FROM_EDGE",
+            clauses=[
+                RouteMapClause(
+                    sequence=10,
+                    permit=True,
+                    match=MatchConditions(prefix_list="PL"),
+                    actions=SetActions(local_preference=150),
+                )
+            ],
+        )
+        agg.bgp.neighbor("edge0_0").import_map = "FROM_EDGE"
+        return network
+
+    def test_per_prefix_matchability_is_in_the_fingerprint(self):
+        # le=24 permits both /16 and /24; le=16 permits only /16 — the
+        # clause still can-match the PEC (via /16), but its behaviour for
+        # the /24 advertisements changed.
+        before = self._network(24)
+        after = self._network(16)
+        p1 = Plankton(before, PlanktonOptions())
+        p2 = Plankton(after, PlanktonOptions())
+        f1 = pec_base_fingerprints(before, p1.pecs, p1.dependency_graph)
+        f2 = pec_base_fingerprints(after, p2.pecs, p2.dependency_graph)
+        nested = next(
+            pec for pec in p1.pecs if len(pec.prefixes) == 2
+        )
+        assert f1[nested.index] != f2[nested.index]
+
+    def test_warm_restart_does_not_serve_stale_results(self, tmp_path):
+        """End-to-end: a fresh service over the same cache directory (no
+        update() call, so no impact belt) must recompute, not hit."""
+        policy = Reachability()
+        options = PlanktonOptions(stop_at_first_violation=False)
+        first = IncrementalVerifier(self._network(24), options, cache_dir=tmp_path)
+        first.verify(policy)
+        second = IncrementalVerifier(self._network(16), options, cache_dir=tmp_path)
+        result = second.verify(policy)
+        cold = Plankton(self._network(16), options).verify(policy)
+        assert result_signature(result) == result_signature(cold)
+
+
+class TestImpactPendingConsumption:
+    def test_pending_pecs_survive_until_actually_recached(self):
+        """An impact-dirty PEC whose recompute never lands in the cache
+        (early stop) is still forced dirty on the next verify."""
+        from repro.config.builder import install_loop_inducing_statics, ospf_everywhere
+        from repro.topology import fat_tree
+
+        network = ospf_everywhere(fat_tree(2))
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        # The edit makes the 10.0.0.0/24 PEC violate; with stop-at-first the
+        # 10.1.0.0/24 PEC (later in task order) is merged/stored only if it
+        # was reached.  Whatever was not cached must stay impact-pending.
+        edited = copy.deepcopy(network)
+        install_loop_inducing_statics(edited, Prefix("10.0.0.0/24"), ["agg0_0", "core0"])
+        service.update(edited)
+        pending_before = set(service._impact_pending["verify"])
+        assert pending_before
+        service.verify(LoopFreedom())
+        pending_after = set(service._impact_pending["verify"])
+        cached = pending_before - pending_after
+        # Consumed exactly the PECs that got fresh cache entries.
+        for pec_index in pending_after:
+            assert pec_index in pending_before
+        assert cached <= pending_before
+
+
+class TestReviewRegressions:
+    def test_consecutive_updates_union_the_pending_sets(self):
+        network = fat_tree_network()
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        first_edit = edit_route_map(network, device="edge0_0")
+        service.update(first_edit)
+        pending_first = set(service._impact_pending["verify"])
+        second_edit = edit_route_map(first_edit, device="edge1_0")
+        service.update(second_edit)
+        assert pending_first <= service._impact_pending["verify"]
+
+    def test_cached_violation_trims_dirty_work_under_early_stop(self):
+        from repro.config.builder import install_loop_inducing_statics, ospf_everywhere
+        from repro.topology import fat_tree
+
+        network = ospf_everywhere(fat_tree(2))
+        install_loop_inducing_statics(network, Prefix("10.0.0.0/24"), ["agg0_0", "core0"])
+        service = IncrementalVerifier(network, PlanktonOptions())
+        service.verify(LoopFreedom())
+        # Dirty a PEC that sits *after* the cached violation in task order:
+        # the cold run would stop before reaching it, so the incremental
+        # run must not recompute it either.
+        edited = copy.deepcopy(network)
+        edited.device("edge1_0").ospf.networks.append(Prefix("10.50.0.0/24"))
+        service.update(edited)
+        result = service.verify(LoopFreedom())
+        cold = Plankton(edited, PlanktonOptions()).verify(LoopFreedom())
+        assert result_signature(result) == result_signature(cold)
+        assert result.incremental.tasks_recomputed == 0
+
+    def test_transient_json_with_no_bgp_pecs_is_valid_json(self, tmp_path, capsys):
+        from repro.cli import EXIT_HOLDS, main
+
+        topo = tmp_path / "net.topo"
+        config = tmp_path / "net.cfg"
+        topo.write_text(
+            "topology tri\nnode r1 role edge\nnode r2 role core\n"
+            "link r1 r2 weight 10\n"
+        )
+        config.write_text("device r1\n  ospf\n    network 10.0.1.0/24\ndevice r2\n  ospf\n")
+        report = tmp_path / "empty.md"
+        code = main([
+            "transient", "--topology", str(topo), "--config", str(config),
+            "--json", "--report", str(report),
+        ])
+        assert code == EXIT_HOLDS
+        document = json.loads(capsys.readouterr().out)
+        assert document["holds"] is True and document["runs"] == []
+        assert report.exists()

@@ -628,3 +628,196 @@ class TestTransientFailureCampaigns:
         markdown = render_transient_markdown(campaign, title="Transient check")
         assert "# Transient check" in markdown
         assert "| failures | prefix |" in markdown
+
+
+# --------------------------------------------------------------------------- priority frontier
+def _fat_tree_bgp_instance(k=4):
+    """The eBGP fat-tree instance the fig7a benchmark family explores."""
+    from repro.core.network_model import DependencyContext, PecExplorer
+    from repro.topology.failures import FailureScenario
+
+    network = ebgp_rfc7938(bgp_fat_tree(k))
+    pec = next(p for p in compute_pecs(network) if p.has_bgp())
+    explorer = PecExplorer(
+        network,
+        pec,
+        FailureScenario(),
+        PlanktonOptions(),
+        dependency_context=DependencyContext(),
+    )
+    prefix = next(pr for pr, devices in pec.bgp_origins if devices)
+    return explorer.bgp_instance(prefix)
+
+
+class TestPriorityFrontier:
+    def test_rejects_unknown_frontier_mode(self):
+        with pytest.raises(ValueError):
+            TransientOptions(frontier="dfs")
+
+    def test_priority_reaches_converged_states_under_small_budgets(self):
+        """The named ROADMAP lever: convergence on the fig7a instance sits
+        ~64 deliveries deep; BFS budgets of thousands of states never get
+        there, the priority frontier does with hundreds."""
+        instance = _fat_tree_bgp_instance()
+        prop = [TransientLoopFreedom(ignore_converged=True)]
+        fifo = TransientAnalyzer(
+            instance, max_states=2_000, stop_at_first_violation=False
+        ).analyze(prop)
+        priority = TransientAnalyzer(
+            instance,
+            max_states=2_000,
+            stop_at_first_violation=False,
+            frontier="priority",
+        ).analyze(prop)
+        assert fifo.converged_states == 0
+        assert priority.converged_states > 0
+        assert priority.max_depth_reached > fifo.max_depth_reached
+
+    def test_priority_is_bit_identical_on_complete_full_searches(self):
+        """por="full" has no sleep sets, so exploration order cannot change
+        what a complete search observes."""
+        instance = _fat_tree_bgp_instance()
+        prop = [TransientLoopFreedom(ignore_converged=True)]
+
+        def run(frontier):
+            return TransientAnalyzer(
+                instance,
+                max_states=500_000,
+                max_depth=5,
+                stop_at_first_violation=False,
+                por="full",
+                frontier=frontier,
+            ).analyze(prop)
+
+        fifo, priority = run("fifo"), run("priority")
+        assert fifo.states_explored == priority.states_explored
+        assert fifo.converged_states == priority.converged_states
+        assert fifo.holds == priority.holds
+
+    def test_priority_preserves_verdicts_on_complete_reduced_searches(self):
+        """Under ample+sleep the priority frontier may explore a few extra
+        states (sleep fallbacks), but verdicts and convergence agree."""
+        instance = _fat_tree_bgp_instance()
+        prop = [TransientLoopFreedom(ignore_converged=True)]
+
+        def run(frontier):
+            return TransientAnalyzer(
+                instance,
+                max_states=500_000,
+                max_depth=6,
+                stop_at_first_violation=False,
+                frontier=frontier,
+            ).analyze(prop)
+
+        fifo, priority = run("fifo"), run("priority")
+        assert not fifo.truncated and not priority.truncated
+        assert fifo.holds == priority.holds
+        assert priority.reduction.sleep_fallbacks >= 0
+        assert priority.states_explored <= fifo.states_explored * 2
+
+    def test_priority_finds_flap_violation(self):
+        result = TransientAnalyzer(
+            flap_loop_gadget(), frontier="priority"
+        ).analyze(
+            [TransientLoopFreedom(ignore_converged=True)],
+            initial_events=[Converge(), FailSession("o", "m")],
+        )
+        assert not result.holds
+
+
+# --------------------------------------------------------------------------- witness minimisation
+def spectator_flap_gadget():
+    """The flap gadget plus an independent spectator branch ``c - d``.
+
+    Deliveries to ``c``/``d`` are independent of the ``a -> b -> a``
+    micro-loop's receiver chain, so a non-BFS witness picks them up and
+    minimisation must drop them.
+    """
+    edges = {
+        "o": ("m",),
+        "m": ("o", "a", "b", "c"),
+        "a": ("m", "b"),
+        "b": ("m", "a"),
+        "c": ("m", "d"),
+        "d": ("c",),
+    }
+    preferences = {
+        "m": [("o",)],
+        "a": [("m", "o"), ("b", "m", "o")],
+        "b": [("m", "o"), ("a", "m", "o")],
+        "c": [("m", "o")],
+        "d": [("c", "m", "o")],
+    }
+    return GadgetInstance("o", edges, preferences)
+
+
+class TestWitnessMinimisation:
+    EVENTS = [Converge(), FailSession("o", "m")]
+    PROPERTY = TransientLoopFreedom(ignore_converged=True)
+
+    def test_minimized_witness_is_shorter_and_same_violation(self):
+        instance = spectator_flap_gadget()
+        plain = TransientAnalyzer(instance, frontier="priority").analyze(
+            [self.PROPERTY], initial_events=self.EVENTS
+        )
+        minimized = TransientAnalyzer(
+            instance, frontier="priority", minimize_witnesses=True
+        ).analyze([self.PROPERTY], initial_events=self.EVENTS)
+        assert not plain.holds and not minimized.holds
+        assert minimized.violations[0].message == plain.violations[0].message
+        assert len(minimized.violations[0].witness) < len(plain.violations[0].witness)
+
+    def test_minimized_witness_replays_to_the_violation(self):
+        """The minimised delivery sequence must itself replay from the root
+        to a state violating the same property with the same message."""
+        from repro.protocols.spvp import SpvpStepper
+        from repro.transient.explorer import _apply_initial_event
+        from repro.transient.witness import _replay, _violates
+
+        instance = spectator_flap_gadget()
+        minimized = TransientAnalyzer(
+            instance, frontier="priority", minimize_witnesses=True
+        ).analyze([self.PROPERTY], initial_events=self.EVENTS)
+        violation = minimized.violations[0]
+
+        stepper = SpvpStepper(instance)
+        root = stepper.initial_state()
+        for event in self.EVENTS:
+            root = _apply_initial_event(stepper, root, event)
+        setup = len(root.witness_events())
+        # Parse the witness back into channels: each line is rendered by
+        # SpvpEvent.describe() as "<node> processed ... from <peer>; ...".
+        channels = []
+        for line in violation.witness[setup:]:
+            node = line.split(" processed ", 1)[0]
+            peer = line.split(" from ", 1)[1].split(";", 1)[0]
+            channels.append((peer, node))
+        final = _replay(stepper, root, channels)
+        assert final is not None
+        assert _violates(self.PROPERTY, final, violation.message)
+
+    def test_minimisation_keeps_already_minimal_bfs_witnesses(self):
+        instance = flap_loop_gadget()
+        plain = TransientAnalyzer(instance, por="full").analyze(
+            [self.PROPERTY], initial_events=self.EVENTS
+        )
+        minimized = TransientAnalyzer(
+            instance, por="full", minimize_witnesses=True
+        ).analyze([self.PROPERTY], initial_events=self.EVENTS)
+        assert minimized.violations[0].witness == plain.violations[0].witness
+
+    def test_receiver_chain_indices(self):
+        from repro.protocols.spvp import SpvpEvent
+        from repro.transient.witness import receiver_chain_indices
+
+        events = [
+            SpvpEvent(node="c", peer="m", advertised=None, new_best=None),
+            SpvpEvent(node="a", peer="m", advertised=None, new_best=None),
+            SpvpEvent(node="m", peer="a", advertised=None, new_best=None),
+            SpvpEvent(node="b", peer="m", advertised=None, new_best=None),
+        ]
+        kept = receiver_chain_indices(events, {"a", "b"})
+        # c's delivery is independent; a's, m's (sender of b's final best
+        # path ingredients) and b's are on the chain.
+        assert 0 not in kept
+        assert {1, 3} <= kept

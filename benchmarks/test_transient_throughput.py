@@ -14,16 +14,23 @@ family scales over:
   representative per equivalence class of commuting deliveries
   (``transient_fig7a_k4_por`` row, states explored vs ``por="full"`` over
   the *complete* depth-8 interleaving slice — which the reduced search
-  finishes un-truncated at a fraction of the states).
+  finishes un-truncated at a fraction of the states);
+* the rank-bound session-immunity refinement of the ample selection (PR 6)
+  prunes activity-closure edges whose static per-session rank bound proves
+  the receiver's best path cannot be dislodged
+  (``transient_fig7a_k4_rankpor`` row, ample with vs without the refinement
+  on the same depth-8 slice).
 
 The gating tests assert *equivalence* (the incremental exploration is
 bit-identical to the deepcopy baseline in ``por="full"`` mode) and the
-*reduction floor* (the ample/sleep reduction explores >=5x fewer states at
-identical verdicts on a smaller slice of the same workload).  The throughput
-rows live in ``test_bench_transient_json`` / ``test_bench_transient_por_json``,
-which the gating matrix deselects the same way it deselects the explorer
-throughput row; the non-gating CI bench job runs them and merges both rows
-into ``BENCH_explorer.json`` via ``benchmarks/conftest.py::merge_bench_rows``.
+*reduction floors* (the ample/sleep reduction explores >=5x fewer states,
+and rank immunity a further >=2x fewer, at identical verdicts on a smaller
+slice of the same workload).  The throughput rows live in
+``test_bench_transient_json`` / ``test_bench_transient_por_json`` /
+``test_bench_transient_rankpor_json``, which the gating matrix deselects the
+same way it deselects the explorer throughput row; the non-gating CI bench
+job runs them and merges the rows into ``BENCH_explorer.json`` via
+``benchmarks/conftest.py::merge_bench_rows``.
 """
 
 from repro.config import ebgp_rfc7938
@@ -53,13 +60,14 @@ def _fig7a_style_instance():
     return explorer.bgp_instance(prefix)
 
 
-def _explore(analyzer_cls, instance, max_states, max_depth=8, por="full"):
+def _explore(analyzer_cls, instance, max_states, max_depth=8, por="full", **kwargs):
     analyzer = analyzer_cls(
         instance,
         max_states=max_states,
         max_depth=max_depth,
         stop_at_first_violation=False,
         por=por,
+        **kwargs,
     )
     return analyzer.analyze([TransientLoopFreedom(ignore_converged=True)])
 
@@ -96,6 +104,34 @@ def test_transient_por_reduction_floor(reporter):
         f"({ratio:.1f}x) on the depth-6 slice, identical verdicts",
     )
     assert ratio >= 5.0
+
+
+def test_rank_immunity_reduction_floor(reporter):
+    """Gating: the rank-bound session-immunity refinement shrinks the ample
+    reduction further on the eBGP workload, at identical verdicts — both
+    against the unrefined ample mode and against the unreduced oracle
+    (depth 6 keeps this cheap; the bench row measures the depth-8 slice)."""
+    instance = _fig7a_style_instance()
+    budget = 500_000  # large enough that no search truncates
+    refined = _explore(TransientAnalyzer, instance, budget, max_depth=6, por="ample")
+    plain = _explore(
+        TransientAnalyzer, instance, budget, max_depth=6, por="ample",
+        rank_immunity=False,
+    )
+    full = _explore(TransientAnalyzer, instance, budget, max_depth=6, por="full")
+    assert not refined.truncated and not plain.truncated and not full.truncated
+    assert refined.holds == plain.holds == full.holds
+    assert refined.reduction.rank_immune_sessions > 0
+    assert plain.reduction.rank_immune_sessions == 0
+    ratio = plain.states_explored / max(refined.states_explored, 1)
+    reporter(
+        "transient",
+        f"rank immunity: {refined.states_explored} vs {plain.states_explored} "
+        f"states ({ratio:.1f}x over plain ample, full={full.states_explored}) "
+        f"on the depth-6 slice, {refined.reduction.rank_immune_sessions} "
+        f"immune session skips, identical verdicts",
+    )
+    assert ratio >= 2.0
 
 
 def test_bench_transient_json(reporter, bench_json):
@@ -185,3 +221,52 @@ def test_bench_transient_por_json(reporter, bench_json):
     )
     # The acceptance floor for the reduction; actual margin is ~8x.
     assert ratio >= 5.0
+
+
+def test_bench_transient_rankpor_json(reporter, bench_json):
+    """Emit the rank-bound session-immunity row (non-gating bench job).
+
+    A/B on the complete depth-8 fig7a slice: the ample reduction *with* the
+    rank-immunity refinement (the default) vs the same reduction with the
+    ``--no-rank-immunity`` escape hatch, at identical verdicts.  The
+    refinement prunes activity-closure edges whose static per-session rank
+    bound proves the receiver's best cannot be dislodged, so the reduced
+    graph collapses further (measured 17,488 -> 295 states on this slice).
+    """
+    instance = _fig7a_style_instance()
+    budget = 500_000  # large enough that neither search truncates
+    refined = _explore(TransientAnalyzer, instance, budget, por="ample")
+    plain = _explore(
+        TransientAnalyzer, instance, budget, por="ample", rank_immunity=False
+    )
+    assert not refined.truncated and not plain.truncated
+    assert refined.holds == plain.holds
+    ratio = plain.states_explored / max(refined.states_explored, 1)
+    rate = refined.states_explored / max(refined.elapsed_seconds, 1e-9)
+    row = {
+        "workload": (
+            "transient SPVP exploration, ample reduction with rank-bound "
+            "session immunity vs without, fat-tree k=4 eBGP instance "
+            "(20 devices), loop property, complete depth-8 slice"
+        ),
+        "states_explored": refined.states_explored,
+        "no_immunity_states_explored": plain.states_explored,
+        "state_reduction_ratio": round(ratio, 1),
+        "rank_immune_sessions": refined.reduction.rank_immune_sessions,
+        "truncated": refined.truncated,
+        "converged_states": refined.converged_states,
+        "violations": len(refined.violations),
+        "elapsed_seconds": round(refined.elapsed_seconds, 4),
+        "no_immunity_elapsed_seconds": round(plain.elapsed_seconds, 4),
+        "states_per_second": round(rate, 1),
+    }
+    bench_json({"transient_fig7a_k4_rankpor": row})
+    reporter(
+        "bench",
+        f"transient_fig7a_k4_rankpor: {refined.states_explored} vs "
+        f"{plain.states_explored} states ({ratio:.1f}x further reduction), "
+        f"{refined.reduction.rank_immune_sessions} immune session skips, "
+        f"identical verdicts",
+    )
+    # The refinement must keep beating the plain ample reduction outright.
+    assert ratio >= 2.0

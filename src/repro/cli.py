@@ -351,6 +351,7 @@ def _cmd_transient(args: argparse.Namespace) -> int:
         por=args.por,
         frontier=args.frontier,
         minimize_witnesses=args.minimize_witness,
+        rank_immunity=not args.no_rank_immunity,
     )
 
     service = IncrementalVerifier(
@@ -664,6 +665,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize-witness",
         action="store_true",
         help="shrink violation witnesses by dropping independent deliveries",
+    )
+    transient.add_argument(
+        "--no-rank-immunity",
+        action="store_true",
+        help=(
+            "disable the rank-bound session-immunity refinement of the ample "
+            "reduction (por=ample only; escape hatch for A/B comparisons)"
+        ),
     )
     transient.add_argument(
         "--fail-session",

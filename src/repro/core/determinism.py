@@ -224,6 +224,41 @@ class BgpDeterminism:
                 best = rank
         return best
 
+    def session_rank_bound(self, node: str, peer: str) -> Optional[Tuple]:
+        """Static lower bound on the rank of any route ``node`` can import from ``peer``.
+
+        The per-peer body of :meth:`_best_future_rank` without the
+        decidedness filter: local-pref upper bound for the session, 0/1
+        AS-hop distance of the peer, IGP cost of the session.  Unlike the
+        future-rank analysis this holds for *every* advertisement the peer
+        could ever send — decided or not — which is what the transient
+        partial-order reduction needs to prove a receiver's best path immune
+        to further deliveries on the session.  Returns None when the peer can
+        never advertise anything at all.
+        """
+        if peer not in self._min_as_hops:
+            return None
+        if not self._peer_can_ever_advertise(node, peer):
+            return None
+        config = self.network.device(node)
+        peer_asn = self.network.device(peer).bgp.asn
+        is_ibgp = peer_asn == config.bgp.asn
+        local_pref_bound = self._session_max_local_pref.get(
+            (node, peer), self._global_max_local_pref
+        )
+        as_path_bound = self._min_as_hops[peer] + (0 if is_ibgp else 1)
+        igp_bound = 0 if not is_ibgp else int(self.instance.igp_cost(node, peer))
+        rank = (
+            -local_pref_bound,
+            as_path_bound,
+            0,  # MED lower bound
+            1 if is_ibgp else 0,
+            igp_bound,
+        )
+        if self.instance.deterministic_tiebreak:
+            rank = rank + ("",)
+        return rank
+
     def _node_is_unstable(self, node: str, state: RpvpState) -> bool:
         """Whether ``node`` is decided but could still receive a better update."""
         route = state.best(node)

@@ -41,6 +41,7 @@ from repro.protocols.rpvp import (
     RpvpTransition,
     enabled_nodes,
     initial_state,
+    node_space_for,
     rpvp_successors,
     updating_peers,
 )
@@ -301,7 +302,6 @@ class PecExplorer:
                 outcomes.append(outcome)
             return on_outcome(outcome)
 
-        holder: List[Explorer] = []
         explorer_options = self._explorer_options()
         explorer_options.stop_at_first_violation = self.options_stop_early
         explorer = Explorer(
@@ -309,8 +309,7 @@ class PecExplorer:
             check_terminal=check_terminal,
             options=explorer_options,
         )
-        holder.append(explorer)
-        explorer.canonicalize = self._make_canonicalizer(holder)
+        explorer.canonicalize = self._make_canonicalizer(explorer, instance)
         outcome_of_search = explorer.run(initial_state(instance), collect_converged=False)
         self._accumulate(outcome_of_search.statistics)
         return outcomes
@@ -348,6 +347,7 @@ class PecExplorer:
         self.statistics.visited_bytes += stats.visited_bytes
         self.statistics.interner_entries += stats.interner_entries
         self.statistics.interner_bytes += stats.interner_bytes
+        self.statistics.state_bytes += stats.state_bytes
         self.statistics.truncated = self.statistics.truncated or stats.truncated
 
     # ------------------------------------------------------------------ per-prefix searches
@@ -360,18 +360,27 @@ class PecExplorer:
             bitstate_bits=self.options.bitstate_bits,
         )
 
-    def _make_canonicalizer(self, explorer_holder: List[Explorer]) -> Callable[[RpvpState], Hashable]:
+    def _make_canonicalizer(
+        self, explorer: Explorer, instance: PathVectorInstance
+    ) -> Callable[[RpvpState], Hashable]:
         """State-hashing canonicalizer: incremental Zobrist fingerprints.
 
-        States intern their per-node entries through the explorer's interner
-        (the §4.4 state hashing), but the visited-set key is a 64-bit Zobrist
-        fingerprint a child state derives from its parent's in O(1) — only
-        the transitioned node's old and new entry are (re)interned, instead
-        of all n entries per state.
+        States already hold intern-table ids per slot (the §4.4 state
+        hashing), and the visited-set key is a 64-bit Zobrist fingerprint a
+        child state derives from its parent's in O(1) — one table lookup for
+        the transitioned node's old and new id, with no object hashing at
+        all.  The fingerprinter is bound to the instance's shared
+        :class:`~repro.protocols.interning.RouteInternTable` and handed to
+        the explorer as its interner so the reported table statistics keep
+        counting the entries this search touched.
         """
         if not self.flags.state_hashing:
             return lambda state: state
-        fingerprinter = ZobristFingerprinter(explorer_holder[0].interner)
+        space = node_space_for(instance)
+        fingerprinter = ZobristFingerprinter(space.table)
+        # One 4-byte id slot per node plus the array object overhead.
+        fingerprinter.state_bytes_per_state = 64 + 4 * len(space.names)
+        explorer.interner = fingerprinter
         return lambda state: state.fingerprint(fingerprinter)
 
     def _candidate_engine(self, instance: PathVectorInstance) -> Optional[CandidateEngine]:
@@ -388,7 +397,6 @@ class PecExplorer:
         stability: Optional[BgpDeterminism] = None,
         engine: Optional[CandidateEngine] = None,
     ) -> PrefixExplorationResult:
-        holder: List[Explorer] = []
         explorer = Explorer(
             successors=successors,
             check_terminal=None,
@@ -396,8 +404,7 @@ class PecExplorer:
             options=self._explorer_options(),
             reduction=self.reduction,
         )
-        holder.append(explorer)
-        explorer.canonicalize = self._make_canonicalizer(holder)
+        explorer.canonicalize = self._make_canonicalizer(explorer, instance)
         start = initial_state(instance)
         outcome = explorer.run(start, collect_converged=True)
         states: List[RpvpState] = []
@@ -518,6 +525,13 @@ class PecExplorer:
         reduction = self.reduction
         if flags.consistent_execution and engine is None:
             engine = CandidateEngine(instance)
+        # Sources that participate in this instance, as state-array slots:
+        # the sources-decided test runs per state and reduces to "is every
+        # source slot a non-zero route id".
+        slot_of = node_space_for(instance).slot_of
+        source_slots = tuple(
+            slot_of[source] for source in (sources or ()) if source in slot_of
+        )
 
         def successors(state: RpvpState) -> List[Tuple[object, RpvpState]]:
             if not flags.consistent_execution:
@@ -533,7 +547,9 @@ class PecExplorer:
             # node and its peers (see repro.core.successors).
             cache = engine.candidates(state)
 
-            enabled_count = sum(len(updates) for updates in cache.updates.values())
+            enabled_count = 0
+            for node_updates in cache.updates.values():
+                enabled_count += len(node_updates)
 
             # Consistent executions only: a node that has selected a path never
             # changes it, so if any decided node could still be improved the
@@ -551,8 +567,8 @@ class PecExplorer:
             # node could still be forced to change its selection later.
             if (
                 flags.policy_based_pruning
-                and sources
-                and self._sources_decided(instance, state)
+                and source_slots
+                and all(state._ids[slot] for slot in source_slots)
                 and (
                     not isinstance(analyzer, BgpDeterminism)
                     or analyzer.decisions_are_stable(state)

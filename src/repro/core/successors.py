@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.protocols.base import PathVectorInstance, Route
-from repro.protocols.rpvp import RpvpState, best_updates, updating_peers
+from repro.protocols.rpvp import RpvpState, node_space_for
 
 
 class CandidateSets:
@@ -63,6 +63,12 @@ class CandidateEngine:
 
     def __init__(self, instance: PathVectorInstance) -> None:
         self.instance = instance
+        # The engine's memos are id-keyed against the instance's intern
+        # table, so the node space (memoised weakly) must outlive the memos:
+        # hold it strongly for the engine's lifetime.
+        self._space = node_space_for(instance)
+        self._table = self._space.table
+        slot_of = self._space.slot_of
         # affected(n) = {n} ∪ {v : n ∈ peers(v)} — the nodes whose candidate
         # sets can change when n's entry changes.  Computed once per engine;
         # peers() is not assumed symmetric.
@@ -74,6 +80,37 @@ class CandidateEngine:
         self._affected: Dict[str, FrozenSet[str]] = {
             node: frozenset(members) for node, members in affected.items()
         }
+        self._affected_sorted: Dict[str, Tuple[str, ...]] = {
+            node: tuple(sorted(members)) for node, members in affected.items()
+        }
+        # Per-edge and per-node id-keyed memos over the intern table: each
+        # directed edge (node <- peer) owns a dict mapping the peer's best-id
+        # to (advertisement, its id, its rank at node); each node owns a dict
+        # mapping a route id to its rank there.  Keying small ints into
+        # per-edge dicts keeps the per-state hot loop free of tuple
+        # construction and Route hashing.  Prefix-independent instances
+        # (OSPF) publish shared memo hosts so the per-PEC engines of one
+        # failure scenario warm each other up.
+        edge_host = getattr(instance, "_engine_adv_edge", None)
+        rank_host = getattr(instance, "_engine_rank_at", None)
+        # The engine's id memos already guarantee one evaluation per
+        # (edge, route id), so prefer uncached instance hooks when offered —
+        # the route-keyed memo layers underneath would only re-hash routes.
+        self._advertise = getattr(instance, "advertisement_direct", None) or instance.advertisement
+        self._rank_fn = getattr(instance, "_engine_rank_fn", None) or instance.cached_rank
+        if edge_host is None:
+            edge_host = {}
+        if rank_host is None:
+            rank_host = {}
+        self._slot_of = slot_of
+        self._rank_at: Dict[str, Dict[int, Tuple]] = {}
+        self._edges: Dict[str, List[Tuple[str, int, Dict[int, tuple]]]] = {}
+        for node in instance.nodes():
+            self._rank_at[node] = rank_host.setdefault(node, {})
+            self._edges[node] = [
+                (peer, slot_of[peer], edge_host.setdefault((node, peer), {}))
+                for peer in instance.peers(node)
+            ]
 
     # ------------------------------------------------------------------ node eval
     def _evaluate(
@@ -83,14 +120,72 @@ class CandidateEngine:
         decided_pending: List[str],
         updates: Dict[str, List[Tuple[str, Route]]],
     ) -> None:
-        """Recompute one node's contribution into the output collections."""
-        instance = self.instance
-        candidates = updating_peers(instance, state, node)
-        if state.best(node) is not None:
-            if candidates:
-                decided_pending.append(node)
-        elif candidates:
-            updates[node] = best_updates(instance, node, candidates)
+        """Recompute one node's contribution into the output collections.
+
+        Semantically this is ``updating_peers`` + ``best_updates`` (the raw
+        Algorithm 1 primitives), evaluated over intern-table ids so the memo
+        lookups on the per-state hot path hash small integers instead of
+        routes.
+        """
+        ids = state._ids
+        rank_at = self._rank_at[node]
+        incumbent_id = ids[self._slot_of[node]]
+        if incumbent_id:
+            # A decided node: any improving peer marks it pending.
+            incumbent_rank = rank_at.get(incumbent_id)
+            if incumbent_rank is None:
+                incumbent_rank = self._rank_fn(node, self._table.route(incumbent_id))
+                rank_at[incumbent_id] = incumbent_rank
+            for peer, peer_slot, memo in self._edges[node]:
+                peer_best_id = ids[peer_slot]
+                entry = memo.get(peer_best_id)
+                if entry is None:
+                    entry = self._miss(node, peer, peer_best_id, memo, rank_at)
+                rank = entry[2]
+                if rank is not None and rank < incumbent_rank:
+                    decided_pending.append(node)
+                    return
+            return
+        best: List[Tuple[str, Route]] = []
+        best_rank = None
+        for peer, peer_slot, memo in self._edges[node]:
+            peer_best_id = ids[peer_slot]
+            entry = memo.get(peer_best_id)
+            if entry is None:
+                entry = self._miss(node, peer, peer_best_id, memo, rank_at)
+            rank = entry[2]
+            if rank is None:
+                continue
+            if best_rank is None or rank < best_rank:
+                best = [(peer, entry[0])]
+                best_rank = rank
+            elif rank == best_rank:
+                best.append((peer, entry[0]))
+        if best:
+            updates[node] = best
+
+    def _miss(
+        self,
+        node: str,
+        peer: str,
+        peer_best_id: int,
+        memo: Dict[int, tuple],
+        rank_at: Dict[int, Tuple],
+    ) -> tuple:
+        """Fill one per-edge memo entry (the only cold path of the engine)."""
+        table = self._table
+        advertisement = self._advertise(node, peer, table.route(peer_best_id))
+        if advertisement is None:
+            entry = (None, 0, None)
+        else:
+            adv_id = table.route_id(advertisement)
+            rank = rank_at.get(adv_id)
+            if rank is None:
+                rank = self._rank_fn(node, advertisement)
+                rank_at[adv_id] = rank
+            entry = (advertisement, adv_id, rank)
+        memo[peer_best_id] = entry
+        return entry
 
     # ------------------------------------------------------------------ cache
     def candidates(self, state: RpvpState) -> CandidateSets:
@@ -138,6 +233,6 @@ class CandidateEngine:
         # Sorted so the derived structures are independent of hash seeding
         # (the per-node candidate lists come from updating_peers either way,
         # and every current consumer additionally sorts the keys).
-        for name in sorted(affected):
+        for name in self._affected_sorted[node]:
             self._evaluate(state, name, decided_pending, updates)
         return CandidateSets(frozenset(decided_pending), updates)

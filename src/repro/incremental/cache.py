@@ -274,6 +274,7 @@ def encode_reduction(reduction: Optional[ReductionStatistics]) -> Optional[Dict]
         "sleep_fallbacks": reduction.sleep_fallbacks,
         "proviso_fallbacks": reduction.proviso_fallbacks,
         "depth_pruned": reduction.depth_pruned,
+        "rank_immune_sessions": reduction.rank_immune_sessions,
     }
 
 
@@ -298,6 +299,7 @@ def encode_statistics(statistics: Optional[ExplorationStatistics]) -> Optional[D
         "visited_bytes": statistics.visited_bytes,
         "interner_entries": statistics.interner_entries,
         "interner_bytes": statistics.interner_bytes,
+        "state_bytes": statistics.state_bytes,
         "truncated": statistics.truncated,
         "reduction": encode_reduction(statistics.reduction),
     }

@@ -66,6 +66,9 @@ class ExplorationStatistics:
     visited_bytes: int = 0
     interner_entries: int = 0
     interner_bytes: int = 0
+    #: Flat-array bytes of the live states (the DFS stack; the visited set
+    #: stores fingerprints only, so stacked states are the resident copies).
+    state_bytes: int = 0
     truncated: bool = False
     #: The partial-order-reduction ledger of the search, when the successor
     #: pipeline recorded one (a :class:`repro.modelcheck.por.ReductionStatistics`).
@@ -73,8 +76,8 @@ class ExplorationStatistics:
 
     @property
     def approximate_memory_bytes(self) -> int:
-        """Visited-structure plus intern-table footprint."""
-        return self.visited_bytes + self.interner_bytes
+        """Visited-structure plus intern-table plus live flat-array footprint."""
+        return self.visited_bytes + self.interner_bytes + self.state_bytes
 
 
 @dataclass
@@ -199,6 +202,9 @@ class Explorer(Generic[State]):
         stats.visited_bytes = visited.approximate_bytes()
         stats.interner_entries = self.interner.unique_entries()
         stats.interner_bytes = self.interner.approximate_bytes()
+        stats.state_bytes = (stats.max_depth_reached + 1) * getattr(
+            self.interner, "state_bytes_per_state", 0
+        )
         return outcome
 
     # ------------------------------------------------------------------ helpers

@@ -48,24 +48,37 @@ class ZobristFingerprinter:
     The component of slot ``s`` holding entry ``e`` is a pseudo-random 64-bit
     value derived deterministically from ``s`` and ``e``'s intern id; a state
     fingerprint is the XOR of its slots' components.  Entries are interned
-    through the supplied :class:`StateInterner`, so the memory accounting the
-    explorer reports (``interner_entries``/``interner_bytes``) keeps meaning
+    through the supplied interner — either a classic :class:`StateInterner`
+    or a protocol-level
+    :class:`~repro.protocols.interning.RouteInternTable`, in which case
+    states whose slots already hold table ids skip object interning entirely
+    and call :meth:`component_id` directly.  Either way the memory accounting
+    the explorer reports (``unique_entries``/``approximate_bytes``) counts
+    the distinct entry ids this search actually touched, so it keeps meaning
     exactly what it did when states were interned wholesale.
     """
 
-    def __init__(self, interner: StateInterner) -> None:
+    def __init__(self, interner) -> None:
         self.interner = interner
         self._components: Dict[Tuple[int, int], int] = {}
+        self._seen: set = set()
+        #: Flat-array bytes one live state costs, set by whoever binds this
+        #: fingerprinter to a protocol state space (0 = unknown/object mode).
+        self.state_bytes_per_state = 0
 
-    def component(self, slot: int, entry: Hashable) -> int:
-        """The Zobrist component for ``entry`` sitting in ``slot``."""
-        entry_id = self.interner.intern(entry)
+    def component_id(self, slot: int, entry_id: int) -> int:
+        """The Zobrist component for the interned entry ``entry_id`` in ``slot``."""
         key = (slot, entry_id)
         value = self._components.get(key)
         if value is None:
             value = splitmix64(splitmix64(slot + 1) ^ (entry_id * _SPLITMIX_GAMMA))
             self._components[key] = value
+            self._seen.add(entry_id)
         return value
+
+    def component(self, slot: int, entry: Hashable) -> int:
+        """The Zobrist component for ``entry`` sitting in ``slot``."""
+        return self.component_id(slot, self.interner.intern(entry))
 
     def queue_component(self, slot: int, entries: Iterable[Hashable]) -> int:
         """The component for a whole FIFO queue sitting in ``slot``.
@@ -92,6 +105,17 @@ class ZobristFingerprinter:
         for slot, entry in enumerate(entries):
             value ^= self.component(slot, entry)
         return value
+
+    # -- accounting (duck-compatible with StateInterner, so the explorer can
+    # -- report table statistics when its canonicalizer owns the interning) --
+
+    def unique_entries(self) -> int:
+        """Distinct entry ids this fingerprinter folded during its search."""
+        return len(self._seen)
+
+    def approximate_bytes(self) -> int:
+        """Intern-table footprint attributable to this search's entries."""
+        return len(self._seen) * 24
 
 
 class StateInterner:

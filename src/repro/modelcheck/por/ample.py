@@ -70,12 +70,30 @@ class AmpleChoice:
 
 
 class AmpleSelector:
-    """Per-state ample-set selection over one SPVP instance."""
+    """Per-state ample-set selection over one SPVP instance.
 
-    def __init__(self, instance, independence: Optional[ChannelIndependence] = None) -> None:
+    ``rank_immunity`` enables the per-session refinement of the activity
+    closure: an active node's out-session into ``d`` is skipped when the
+    instance's static :meth:`~repro.protocols.base.PathVectorInstance.
+    session_rank_bound` proves no route importable over that session can
+    *strictly* outrank ``d``'s current best — and the session is not the one
+    backing that best (``best.path.head``), so neither a better route nor a
+    dislodging withdrawal can arrive over it.  ``reduction`` receives the
+    ``rank_immune_sessions`` tally when provided.
+    """
+
+    def __init__(
+        self,
+        instance,
+        independence: Optional[ChannelIndependence] = None,
+        rank_immunity: bool = True,
+        reduction=None,
+    ) -> None:
         self.instance = instance
         self.space = space_for(instance)
         self.independence = independence or ChannelIndependence(instance)
+        self.rank_immunity = rank_immunity
+        self.reduction = reduction
         #: Nodes whose best path provably never changes, no matter what is
         #: delivered.  Every advertised path ends at an origin, so with a
         #: single origin every advertisement reaching it is loop-rejected
@@ -84,6 +102,47 @@ class AmpleSelector:
         #: activity closure neither seeds at them nor propagates into them.
         origins = tuple(instance.origins())
         self.frozen_nodes = frozenset(origins) if len(origins) == 1 else frozenset()
+        #: (receiver, sender) -> static rank bound (memoised; None = unknown).
+        self._session_bounds: Dict[Tuple[str, str], Optional[Tuple]] = {}
+        #: (receiver, sender, best route id) -> immunity verdict.  Keyed on
+        #: the intern id of the receiver's best route, so across the search
+        #: the rank comparison runs once per distinct (session, best) pair.
+        self._immune_memo: Dict[Tuple[str, str, int], bool] = {}
+
+    # ------------------------------------------------------------------ rank immunity
+    def _session_bound(self, receiver: str, sender: str) -> Optional[Tuple]:
+        key = (receiver, sender)
+        if key in self._session_bounds:
+            return self._session_bounds[key]
+        bound = self.instance.session_rank_bound(receiver, sender)
+        self._session_bounds[key] = bound
+        return bound
+
+    def _session_immune(self, state: SpvpState, sender: str, receiver: str) -> bool:
+        """Whether deliveries over ``sender -> receiver`` can never change
+        ``receiver``'s current best path.
+
+        Requires a decided receiver, a session that is not backing the
+        incumbent (a withdrawal over the backing session dislodges it), and a
+        static bound proving every importable route ranks no better than the
+        incumbent — on ties Appendix A keeps the incumbent, so "no better"
+        suffices.
+        """
+        best_rid = state._ids[self.space.best_slot[receiver]]
+        if not best_rid:
+            return False
+        key = (receiver, sender, best_rid)
+        cached = self._immune_memo.get(key)
+        if cached is not None:
+            return cached
+        result = False
+        bound = self._session_bound(receiver, sender)
+        if bound is not None:
+            best = self.space.table.route(best_rid)
+            if best.path.head != sender:
+                result = not (bound < self.instance.cached_rank(receiver, best))
+        self._immune_memo[key] = result
+        return result
 
     # ------------------------------------------------------------------ danger analysis
     def _message_is_dangerous(
@@ -140,12 +199,22 @@ class AmpleSelector:
         active = set(dangerous)
         stack = list(dangerous)
         out_peers = self.independence.out_peers
+        rank_immunity = self.rank_immunity
+        reduction = self.reduction
         while stack:
             node = stack.pop()
             for peer in out_peers.get(node, ()):
-                if peer not in active and peer not in frozen:
-                    active.add(peer)
-                    stack.append(peer)
+                if peer in active or peer in frozen:
+                    continue
+                if rank_immunity and self._session_immune(state, node, peer):
+                    # The active node may re-advertise anything over this
+                    # session, but nothing importable can dislodge the
+                    # receiver's best — the edge does not propagate activity.
+                    if reduction is not None:
+                        reduction.rank_immune_sessions += 1
+                    continue
+                active.add(peer)
+                stack.append(peer)
         return active
 
     # ------------------------------------------------------------------ selection

@@ -45,6 +45,9 @@ class ReductionStatistics:
             member turned out to be visible (changed a best path), widening
             the expansion back to the full enabled set.
         depth_pruned: States whose expansion was skipped by the depth bound.
+        rank_immune_sessions: Sessions the activity closure skipped because
+            the static rank bound proved no importable route can outrank the
+            receiver's current best (rank-bound immunity).
     """
 
     mode: str = "full"
@@ -57,6 +60,7 @@ class ReductionStatistics:
     sleep_fallbacks: int = 0
     proviso_fallbacks: int = 0
     depth_pruned: int = 0
+    rank_immune_sessions: int = 0
 
     # ------------------------------------------------------------------ intake
     def observe_expansion(self, enabled: int, expanded: int, reduced: bool) -> None:
@@ -79,6 +83,7 @@ class ReductionStatistics:
         self.sleep_fallbacks += other.sleep_fallbacks
         self.proviso_fallbacks += other.proviso_fallbacks
         self.depth_pruned += other.depth_pruned
+        self.rank_immune_sessions += other.rank_immune_sessions
 
     # ------------------------------------------------------------------ readout
     def transition_reduction_ratio(self) -> float:
@@ -100,6 +105,7 @@ class ReductionStatistics:
             "sleep_fallbacks": self.sleep_fallbacks,
             "proviso_fallbacks": self.proviso_fallbacks,
             "depth_pruned": self.depth_pruned,
+            "rank_immune_sessions": self.rank_immune_sessions,
             "transition_reduction_ratio": round(self.transition_reduction_ratio(), 2),
         }
 
@@ -111,5 +117,6 @@ class ReductionStatistics:
             f"{self.transitions_expanded}/{self.transitions_enabled} transition(s) "
             f"executed ({self.transition_reduction_ratio():.1f}x), "
             f"{self.transitions_slept} slept, {self.sleep_requeues} requeue(s), "
-            f"{self.proviso_fallbacks} proviso fallback(s)"
+            f"{self.proviso_fallbacks} proviso fallback(s), "
+            f"{self.rank_immune_sessions} rank-immune session(s)"
         )

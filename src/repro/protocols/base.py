@@ -56,7 +56,7 @@ class Path(tuple):
 
     def prepend(self, node: str) -> "Path":
         """The path seen by a neighbour importing this path via ``node``."""
-        return Path((node,) + tuple(self))
+        return tuple.__new__(Path, (node,) + self)
 
     def contains(self, node: str) -> bool:
         """True if ``node`` already appears on the path (loop detection)."""
@@ -106,35 +106,51 @@ class Route:
     communities: FrozenSet[str] = frozenset()
     origin_node: Optional[str] = None
 
-    def __hash__(self) -> int:
-        """Structural hash, computed once and cached.
+    @property
+    def compare_key(self) -> Tuple:
+        """All equality-relevant fields as one tuple, computed once.
 
-        Routes are hashed constantly — every advertisement/rank memo lookup
-        keys on them — and the dataclass-generated hash re-folds all eight
-        fields (including the communities frozenset) on every call.
+        Routes are compared and hashed constantly — interning, advertisement
+        and rank memo lookups all key on them — and the dataclass-generated
+        ``__eq__``/``__hash__`` re-tuple all eight fields on every call.
         """
+        key = self.__dict__.get("_key")
+        if key is None:
+            key = (
+                self.path,
+                self.source,
+                self.local_pref,
+                self.as_path_length,
+                self.med,
+                self.igp_cost,
+                self.communities,
+                self.origin_node,
+            )
+            object.__setattr__(self, "_key", key)
+        return key
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        if other.__class__ is not Route:
+            return NotImplemented
+        return self.compare_key == other.compare_key
+
+    def __hash__(self) -> int:
+        """Structural hash over :attr:`compare_key`, computed once and cached."""
         value = self.__dict__.get("_hash")
         if value is None:
-            value = hash(
-                (
-                    self.path,
-                    self.source,
-                    self.local_pref,
-                    self.as_path_length,
-                    self.med,
-                    self.igp_cost,
-                    self.communities,
-                    self.origin_node,
-                )
-            )
+            value = hash(self.compare_key)
             object.__setattr__(self, "_hash", value)
         return value
 
     def __getstate__(self):
         # The cached hash is process-specific (string hashing is seeded), so
-        # it must not travel across the pickle boundary to pool workers.
+        # it must not travel across the pickle boundary to pool workers; the
+        # cached compare key would just duplicate the fields on the wire.
         state = dict(self.__dict__)
         state.pop("_hash", None)
+        state.pop("_key", None)
         return state
 
     def __setstate__(self, state):
@@ -146,8 +162,20 @@ class Route:
         return self.path.head
 
     def with_path(self, path: Path) -> "Route":
-        """A copy of this route with a different path."""
-        return replace(self, path=path)
+        """A copy of this route with a different path.
+
+        Constructed by copying the field dict rather than via
+        :func:`dataclasses.replace` — replace() rebuilds a field mapping per
+        call and sits on the export hot path of every protocol.  The cached
+        hash/compare-key entries must not travel to the copy.
+        """
+        fields = dict(self.__dict__)
+        fields.pop("_hash", None)
+        fields.pop("_key", None)
+        fields["path"] = path
+        route = object.__new__(Route)
+        object.__setattr__(route, "__dict__", fields)
+        return route
 
     def describe(self) -> str:
         """Compact human-readable form used in trails and logs."""
@@ -288,3 +316,19 @@ class PathVectorInstance(abc.ABC):
         The paper allows this only for shortest-path protocols (OSPF ECMP).
         """
         return False
+
+    def session_rank_bound(self, importer: str, exporter: str) -> Optional[Tuple]:
+        """A static lower bound on the rank of any route importable over a session.
+
+        Returns a rank tuple ``b`` such that every route ``importer`` could
+        *ever* accept from ``exporter`` in this instance ranks no better than
+        ``b`` (``cached_rank(importer, r) >= b`` for all importable ``r``),
+        or ``None`` when no bound is known.  The partial-order reduction uses
+        this to prove a session *rank-immune*: if the bound cannot outrank the
+        receiver's current best route, future deliveries over the session can
+        never change that best (Appendix A keeps the incumbent on ties).
+
+        The default knows nothing; BGP instances derive a bound from the
+        local-pref / AS-hop analysis in :mod:`repro.core.determinism`.
+        """
+        return None

@@ -216,6 +216,24 @@ class BgpInstance(PathVectorInstance):
         # multipath (§6); the configuration flag exists but is ignored here.
         return False
 
+    def session_rank_bound(self, importer: str, exporter: str) -> Optional[Tuple]:
+        """Static per-session rank bound from the §4.1.2 determinism analysis.
+
+        Delegates to :meth:`repro.core.determinism.BgpDeterminism.
+        session_rank_bound` (local-pref upper bound, 0/1 AS-hop distance, IGP
+        cost), built lazily and cached — the analysis walks every route map
+        once per instance, not per query.
+        """
+        determinism = getattr(self, "_determinism", None)
+        if determinism is None:
+            # Imported here to avoid a module cycle: repro.core.determinism
+            # imports this module for the BgpInstance type.
+            from repro.core.determinism import BgpDeterminism
+
+            determinism = BgpDeterminism(self)
+            self._determinism = determinism
+        return determinism.session_rank_bound(importer, exporter)
+
     # ------------------------------------------------------------------ helpers
     def origin_route(self, node: str) -> Route:
         """The locally originated route of an origin node."""

@@ -63,6 +63,33 @@ class OspfComputation:
         self.network = network
         self.topology = network.topology
         self._cache: Dict[Tuple[FrozenSet[str], FrozenSet[int]], OspfRoutingTable] = {}
+        self._filter_caches: Dict[FrozenSet[int], Dict[str, Dict]] = {}
+
+    def shared_filter_caches(self, failure_key: FrozenSet[int]) -> Dict[str, Dict]:
+        """Filter/rank memo dicts shared by all instances of one failure set.
+
+        OSPF export, import and ranking depend on the topology, the link
+        costs and the failed links — never on the prefix — so the per-prefix
+        :class:`~repro.protocols.ospf_instance.OspfInstance` objects built
+        over this computation can share one set of
+        :class:`~repro.protocols.base.PathVectorInstance` memo dicts instead
+        of re-evaluating the identical filters per PEC.
+        """
+        caches = self._filter_caches.get(failure_key)
+        if caches is None:
+            caches = {
+                "export": {},
+                "import": {},
+                "advertisement": {},
+                "rank": {},
+                "edge_cost": {},
+                # Id-keyed memos adopted by the RPVP CandidateEngine (one
+                # engine per prefix, all over the shared intern table).
+                "adv_edge": {},
+                "rank_at": {},
+            }
+            self._filter_caches[failure_key] = caches
+        return caches
 
     # ------------------------------------------------------------------ costs
     def link_cost(self, node: str, neighbor: str, link_weight: int) -> float:

@@ -19,34 +19,30 @@ successor relation defined here.
 from __future__ import annotations
 
 import weakref
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
+from repro.protocols.interning import RouteInternTable
 
 
 # --------------------------------------------------------------------------- state
-#: Routes are stored in fixed-size chunks so ``with_best`` copies one chunk
-#: plus the (short) chunk spine instead of rebuilding the whole assignment.
-_CHUNK_SHIFT = 4
-_CHUNK_SIZE = 1 << _CHUNK_SHIFT
-_CHUNK_MASK = _CHUNK_SIZE - 1
-
-
 class _NodeSpace:
     """The shared backbone of all states over one (sorted) node set.
 
     Every state of one protocol instance assigns routes to the same nodes, so
-    the node names and the name -> slot index live here exactly once and each
-    state stores only its route vector.
+    the node names, the name -> slot index and the route intern table live
+    here exactly once and each state stores only a flat vector of route ids.
     """
 
-    __slots__ = ("names", "slot_of", "__weakref__")
+    __slots__ = ("names", "slot_of", "table", "__weakref__")
 
     def __init__(self, names: Tuple[str, ...]) -> None:
         self.names = names
         self.slot_of = {name: slot for slot, name in enumerate(names)}
+        self.table = RouteInternTable()
 
 
 #: Node spaces interned per node set: explorations over the same instance (and
@@ -66,28 +62,28 @@ def _space_for(names: Tuple[str, ...]) -> _NodeSpace:
     return space
 
 
-def _chunks_of(routes: Sequence[Optional[Route]]) -> Tuple[Tuple[Optional[Route], ...], ...]:
-    return tuple(
-        tuple(routes[start : start + _CHUNK_SIZE])
-        for start in range(0, len(routes), _CHUNK_SIZE)
-    )
+def node_space_for(instance: PathVectorInstance) -> _NodeSpace:
+    """The shared node space (and intern table) of ``instance``'s RPVP states."""
+    return _space_for(tuple(sorted(instance.nodes())))
 
 
 class RpvpState:
     """An RPVP network state: the best route of every node.
 
-    States are persistent (immutable with structural sharing): the sorted node
-    vector lives once in a shared :class:`_NodeSpace`, routes are stored in a
-    chunked persistent vector, and :meth:`with_best` copies a single chunk
-    plus the chunk spine — O(sqrt(n))-ish instead of rebuilding an O(n)
-    tuple.  Each derived state also remembers its parent and single-slot
+    States are persistent (immutable with structural sharing of the
+    backbone): the sorted node vector and the route intern table live once in
+    a shared :class:`_NodeSpace`, and each state stores only a flat
+    ``array('i')`` of route ids.  Copy-on-write in :meth:`with_best` is one
+    memcpy of machine integers, equality is an array compare and hashing
+    folds the raw bytes — no boxed :class:`Route` objects are touched on the
+    hot paths.  Each derived state also remembers its parent and single-slot
     delta, which the model checker uses for O(1) incremental Zobrist
     fingerprints (paper §4.4) and incremental successor candidate sets.
     """
 
     __slots__ = (
         "_space",
-        "_chunks",
+        "_ids",
         "parent",
         "delta",
         "_fp_token",
@@ -102,21 +98,23 @@ class RpvpState:
     def __init__(self, assignments: Iterable[Tuple[str, Optional[Route]]]) -> None:
         pairs = tuple(assignments)
         space = _space_for(tuple(name for name, _route in pairs))
-        self._init(space, _chunks_of([route for _name, route in pairs]))
+        route_id = space.table.route_id
+        self._init(space, array("i", [route_id(route) for _name, route in pairs]))
 
     def _init(
         self,
         space: _NodeSpace,
-        chunks: Tuple[Tuple[Optional[Route], ...], ...],
+        ids: "array[int]",
         parent: Optional["RpvpState"] = None,
-        delta: Optional[Tuple[int, Optional[Route], Optional[Route]]] = None,
+        delta: Optional[Tuple[int, int, int]] = None,
     ) -> "RpvpState":
         self._space = space
-        self._chunks = chunks
+        self._ids = ids
         #: The state this one was derived from via :meth:`with_best` (None for
         #: states built from scratch).
         self.parent = parent
-        #: ``(slot, old_route, new_route)`` of the single changed entry.
+        #: ``(slot, old_id, new_id)`` of the single changed entry (intern-table
+        #: route ids; consumers outside this module use the slot only).
         self.delta = delta
         self._fp_token = None
         self._fp = 0
@@ -137,30 +135,33 @@ class RpvpState:
         """The (node, route) pairs in node order (materialized on demand)."""
         return tuple(zip(self._space.names, self.routes()))
 
+    @property
+    def intern_table(self) -> RouteInternTable:
+        """The shared route intern table this state resolves ids through."""
+        return self._space.table
+
     def routes(self) -> List[Optional[Route]]:
         """The route vector in node order."""
-        flat: List[Optional[Route]] = []
-        for chunk in self._chunks:
-            flat.extend(chunk)
-        return flat
+        route = self._space.table.route
+        return [route(rid) for rid in self._ids]
 
     def items(self) -> Iterable[Tuple[str, Optional[Route]]]:
         """Iterate (node, route) pairs without materializing a tuple."""
-        names = iter(self._space.names)
-        for chunk in self._chunks:
-            for route in chunk:
-                yield next(names), route
+        route = self._space.table.route
+        for name, rid in zip(self._space.names, self._ids):
+            yield name, route(rid)
 
     def detach(self) -> "RpvpState":
         """Drop the search-time caches once the search is done with this state.
 
         States handed out of a search — converged states kept in results —
         would otherwise pin their whole DFS ancestor chain in memory, plus
-        the exploration's fingerprinter (and through it the intern table and
-        Zobrist components) and candidate engine (and through it the protocol
-        instance).  The chunked vector is self-contained, so lookups and
-        equality are unaffected; future fingerprint/candidate computations
-        fall back to a from-scratch evaluation.  Returns self for chaining.
+        the exploration's fingerprinter (and through it its Zobrist
+        components) and candidate engine (and through it the protocol
+        instance).  The id vector stays resolvable through the shared node
+        space, so lookups and equality are unaffected; future
+        fingerprint/candidate computations fall back to a from-scratch
+        evaluation.  Returns self for chaining.
         """
         self.parent = None
         self.delta = None
@@ -183,7 +184,7 @@ class RpvpState:
             slot = self._space.slot_of[node]
         except KeyError:
             raise ProtocolError(f"node {node!r} not part of this RPVP state") from None
-        return self._chunks[slot >> _CHUNK_SHIFT][slot & _CHUNK_MASK]
+        return self._space.table.route(self._ids[slot])
 
     def as_dict(self) -> Dict[str, Optional[Route]]:
         """A mutable copy of the assignment."""
@@ -192,27 +193,24 @@ class RpvpState:
     def with_best(self, node: str, route: Optional[Route]) -> "RpvpState":
         """A new state with ``node``'s best route replaced.
 
-        Shares every untouched chunk with this state and records the
-        single-slot delta for incremental fingerprinting / successor
-        generation.
+        One flat array copy plus an integer store, recording the single-slot
+        delta for incremental fingerprinting / successor generation.
         """
         try:
             slot = self._space.slot_of[node]
         except KeyError:
             raise ProtocolError(f"node {node!r} not part of this RPVP state") from None
-        index = slot >> _CHUNK_SHIFT
-        offset = slot & _CHUNK_MASK
-        chunk = self._chunks[index]
-        old = chunk[offset]
-        new_chunk = chunk[:offset] + (route,) + chunk[offset + 1 :]
-        chunks = self._chunks[:index] + (new_chunk,) + self._chunks[index + 1 :]
+        ids = array("i", self._ids)
+        old = ids[slot]
+        new = self._space.table.route_id(route)
+        ids[slot] = new
         return RpvpState.__new__(RpvpState)._init(
-            self._space, chunks, parent=self, delta=(slot, old, route)
+            self._space, ids, parent=self, delta=(slot, old, new)
         )
 
     def nodes_with_routes(self) -> List[str]:
         """Nodes that currently hold a route."""
-        return [name for name, route in zip(self._space.names, self.routes()) if route is not None]
+        return [name for name, rid in zip(self._space.names, self._ids) if rid]
 
     def describe(self) -> str:
         """Multi-line human-readable dump used in trails."""
@@ -234,6 +232,12 @@ class RpvpState:
         """
         if self._fp_token is hasher:
             return self._fp
+        table = self._space.table
+        # Hashers bound to this state's own intern table fold ids directly;
+        # foreign hashers (the property-test oracles build their own
+        # StateInterner-backed one) get the materialized routes, reproducing
+        # the pre-interning component keys exactly.
+        fast = getattr(hasher, "interner", None) is table
         # Walk up to the nearest ancestor already fingerprinted by ``hasher``.
         chain: List[RpvpState] = []
         state: Optional[RpvpState] = self
@@ -248,20 +252,32 @@ class RpvpState:
         if state is None or state._fp_token is not hasher:
             base = state if state is not None else self
             value = 0
-            slot = 0
-            for chunk in base._chunks:
-                for route in chunk:
-                    value ^= hasher.component(slot, route)
-                    slot += 1
+            if fast:
+                component_id = hasher.component_id
+                for slot, rid in enumerate(base._ids):
+                    value ^= component_id(slot, rid)
+            else:
+                route = table.route
+                for slot, rid in enumerate(base._ids):
+                    value ^= hasher.component(slot, route(rid))
             base._fp_token = hasher
             base._fp = value
         else:
             value = state._fp
-        for derived in reversed(chain):
-            slot, old, new = derived.delta  # type: ignore[misc]
-            value = hasher.delta(value, slot, old, new)
-            derived._fp_token = hasher
-            derived._fp = value
+        if fast:
+            component_id = hasher.component_id
+            for derived in reversed(chain):
+                slot, old, new = derived.delta  # type: ignore[misc]
+                value ^= component_id(slot, old) ^ component_id(slot, new)
+                derived._fp_token = hasher
+                derived._fp = value
+        else:
+            route = table.route
+            for derived in reversed(chain):
+                slot, old, new = derived.delta  # type: ignore[misc]
+                value = hasher.delta(value, slot, route(old), route(new))
+                derived._fp_token = hasher
+                derived._fp = value
         return value
 
     # ------------------------------------------------------------------ dunder
@@ -270,9 +286,15 @@ class RpvpState:
             return True
         if not isinstance(other, RpvpState):
             return NotImplemented
-        if self._space is not other._space and self._space.names != other._space.names:
+        if self._space is other._space:
+            # One shared (interned) space per node set, so ids are comparable.
+            return self._ids == other._ids
+        if self._space.names != other._space.names:
             return False
-        return self._chunks == other._chunks
+        # Distinct spaces over equal names can only meet across an interning
+        # epoch (e.g. a state that outlived a garbage-collected space);
+        # compare the materialized routes.
+        return self.routes() == other.routes()
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -280,7 +302,7 @@ class RpvpState:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((self._space.names, self._chunks))
+            self._hash = hash((self._space.names, self._ids.tobytes()))
         return self._hash
 
     def __repr__(self) -> str:

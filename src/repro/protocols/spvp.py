@@ -14,27 +14,34 @@ the same converged states — but SPVP is implemented here for three reasons:
   that only some orderings expose (BGP wedgies);
 * divergent configurations (BAD GADGET) can be demonstrated on it.
 
-The state lives in :class:`SpvpState`, a persistent (immutable, structurally
-shared) vector mirroring :class:`repro.protocols.rpvp.RpvpState`'s backbone
-design: one shared slot layout per instance (:class:`_SpvpSpace`), values in
-a chunked persistent vector, each derived state remembering its parent and
-the slots it changed.  :class:`SpvpStepper` is the stateless transition
-function over those states; :class:`SpvpSimulator` is a thin mutable wrapper
-(current state + RNG + history) that keeps the historic simulation API.
-:class:`ReferenceSpvpSimulator` is the original dict/deque implementation,
-kept verbatim as the oracle for the property tests and as the deepcopy
-baseline the transient-exploration benchmark measures against.
+The state lives in :class:`SpvpState`, an immutable array-native vector
+mirroring :class:`repro.protocols.rpvp.RpvpState`'s backbone design: one
+shared slot layout per instance (:class:`_SpvpSpace`) owning a
+:class:`~repro.protocols.interning.RouteInternTable`, values stored as one
+flat ``array('i')`` of intern ids (route ids in best/rib slots, queue ids in
+channel slots), each derived state remembering its parent and the slot/id
+deltas it applied.  Equality between states of one instance is an integer
+array compare; the visited-set fingerprint is an O(changed-slots) Zobrist
+XOR over ``(slot, id)`` components.  :class:`SpvpStepper` is the stateless
+transition function over those states, generating successors through
+id-keyed import/export/rank memos; :class:`SpvpSimulator` is a thin mutable
+wrapper (current state + RNG + history) that keeps the historic simulation
+API.  :class:`ReferenceSpvpSimulator` is the original dict/deque
+implementation, kept verbatim as the oracle for the property tests and as
+the deepcopy baseline the transient-exploration benchmark measures against.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
+from repro.protocols.interning import RouteInternTable
 from repro.protocols.rpvp import RpvpState
 
 
@@ -56,12 +63,6 @@ class SpvpEvent:
 #: A directed message channel: (sender, receiver).
 Channel = Tuple[str, str]
 
-#: Values are stored in fixed-size chunks so a step copies the few chunks it
-#: touches plus the (short) chunk spine instead of the whole vector.
-_CHUNK_SHIFT = 4
-_CHUNK_SIZE = 1 << _CHUNK_SHIFT
-_CHUNK_MASK = _CHUNK_SIZE - 1
-
 
 class _SpvpSpace:
     """The shared slot layout of all SPVP states over one protocol instance.
@@ -73,7 +74,11 @@ class _SpvpSpace:
     * slots ``[0, len(nodes))`` — per-node best route;
     * the next block — per-(node, peer) rib-in entry;
     * the final block, from :attr:`buffer_base` — per-(sender, receiver)
-      channel FIFO, stored as a tuple of queued advertisements.
+      channel FIFO, stored as the intern id of the queued-advertisement tuple.
+
+    The space also owns the :class:`RouteInternTable` that maps every route
+    (and channel queue) appearing in any state of the instance to a dense
+    integer id; states store only those ids, in a flat C int array.
 
     Rib and channel slots are laid out in ``for node in nodes(): for peer in
     peers(node)`` order — the insertion order of the original dict-based
@@ -94,9 +99,11 @@ class _SpvpSpace:
         "out_peers",
         "buffer_base",
         "total_slots",
+        "table",
     )
 
     def __init__(self, instance: PathVectorInstance) -> None:
+        self.table = RouteInternTable()
         self.nodes: Tuple[str, ...] = tuple(instance.nodes())
         self.origin_set: FrozenSet[str] = frozenset(instance.origins())
         self.best_slot: Dict[str, int] = {
@@ -165,28 +172,31 @@ space_for = _space_for
 
 
 class SpvpState:
-    """A persistent SPVP network state: best routes, rib-ins, FIFO buffers.
+    """An immutable SPVP network state: best routes, rib-ins, FIFO buffers.
 
-    States are immutable with structural sharing: all values (routes for
-    best/rib-in slots, tuples of queued advertisements for channel slots)
-    live in one chunked persistent vector over the instance's shared
-    :class:`_SpvpSpace`.  A delivery touches a handful of slots (the drained
-    channel, the receiver's rib-in and best, and — on a best-path change —
-    the receiver's outgoing channels), so a derived state copies only those
-    chunks and records the slot deltas, which makes its Zobrist visited-set
-    fingerprint an O(changed-slots) XOR off its parent's instead of a
-    full-state hash.  Each derived state also keeps its parent and the
-    :class:`SpvpEvent` that produced it, so explorers reconstruct witness
-    event sequences from the parent chain instead of copying histories.
+    The state proper is one flat ``array('i')`` of intern ids over the
+    instance's shared :class:`_SpvpSpace`: best/rib-in slots hold route ids,
+    channel slots hold queue ids (id 0 is None / the empty queue).  Equality
+    between states of one instance is therefore a C-level integer array
+    compare and hashing never touches a route.  A delivery touches a handful
+    of slots (the drained channel, the receiver's rib-in and best, and — on a
+    best-path change — the receiver's outgoing channels); a derived state
+    copies the id array and records the ``(slot, old_id, new_id)`` deltas,
+    which makes its Zobrist visited-set fingerprint an O(changed-slots) XOR
+    off its parent's instead of a full-state hash.  Each derived state also
+    keeps its parent and the :class:`SpvpEvent` that produced it, so
+    explorers reconstruct witness event sequences from the parent chain
+    instead of copying histories.
 
     Fingerprints key on *paths* (route attributes are a deterministic
     function of the path for a fixed instance), matching the visited-set
-    signature the pre-refactor explorer used; equality compares full routes.
+    signature the pre-refactor explorer used; equality compares full routes
+    (which for one shared intern table is exactly the id compare).
     """
 
     __slots__ = (
         "_space",
-        "_chunks",
+        "_ids",
         "parent",
         "delta",
         "event",
@@ -199,21 +209,21 @@ class SpvpState:
     def _init(
         self,
         space: _SpvpSpace,
-        chunks: Tuple[Tuple[object, ...], ...],
+        ids: array,
         pending: FrozenSet[Channel],
         parent: Optional["SpvpState"] = None,
-        delta: Tuple[Tuple[int, object, object], ...] = (),
+        delta: Tuple[Tuple[int, int, int], ...] = (),
         event: Optional[SpvpEvent] = None,
     ) -> "SpvpState":
         self._space = space
-        self._chunks = chunks
+        self._ids = ids
         #: Channels with at least one queued advertisement (delta-maintained:
         #: one delivery removes at most the drained channel and adds the
         #: receiver's out-channels; no buffer rescan ever happens).
         self.pending = pending
         #: The state this one was derived from (None for roots).
         self.parent = parent
-        #: ``(slot, old_value, new_value)`` triples of the changed slots.
+        #: ``(slot, old_id, new_id)`` triples of the changed slots.
         self.delta = delta
         #: The delivery that produced this state from its parent.
         self.event = event
@@ -223,16 +233,13 @@ class SpvpState:
         return self
 
     # ------------------------------------------------------------------ access
-    def _get(self, slot: int) -> object:
-        return self._chunks[slot >> _CHUNK_SHIFT][slot & _CHUNK_MASK]
-
     def best_of(self, node: str) -> Optional[Route]:
         """The current best route of ``node`` (None = the paper's ⊥)."""
         try:
             slot = self._space.best_slot[node]
         except KeyError:
             raise ProtocolError(f"node {node!r} not part of this SPVP state") from None
-        return self._get(slot)  # type: ignore[return-value]
+        return self._space.table.route(self._ids[slot])
 
     def rib_in_of(self, node: str, peer: str) -> Optional[Route]:
         """The rib-in entry ``node`` holds for ``peer``."""
@@ -242,7 +249,7 @@ class SpvpState:
             raise ProtocolError(
                 f"({node!r}, {peer!r}) is not a session of this SPVP state"
             ) from None
-        return self._get(slot)  # type: ignore[return-value]
+        return self._space.table.route(self._ids[slot])
 
     def buffer_of(self, channel: Channel) -> Tuple[Optional[Route], ...]:
         """The queued advertisements of ``channel``, oldest first."""
@@ -250,22 +257,29 @@ class SpvpState:
             slot = self._space.channel_slot[channel]
         except KeyError:
             raise ProtocolError(f"channel {channel!r} not part of this SPVP state") from None
-        return self._get(slot)  # type: ignore[return-value]
+        table = self._space.table
+        return tuple(table.route(rid) for rid in table.queue(self._ids[slot]))
 
     def best_map(self) -> Dict[str, Optional[Route]]:
         """The node -> best route assignment as a mutable dict."""
-        return {node: self._get(slot) for node, slot in self._space.best_slot.items()}
+        table = self._space.table
+        ids = self._ids
+        return {
+            node: table.route(ids[slot])
+            for node, slot in self._space.best_slot.items()
+        }
 
     def rib_in_map(self) -> Dict[Tuple[str, str], Optional[Route]]:
         """The (node, peer) -> rib-in assignment as a mutable dict."""
-        return {key: self._get(slot) for key, slot in self._space.rib_slot.items()}
+        table = self._space.table
+        ids = self._ids
+        return {
+            key: table.route(ids[slot]) for key, slot in self._space.rib_slot.items()
+        }
 
     def buffer_map(self) -> Dict[Channel, Tuple[Optional[Route], ...]]:
         """The channel -> queued advertisements map (tuples, oldest first)."""
-        return {
-            channel: self._get(self._space.channel_slot[channel])
-            for channel in self._space.channels
-        }
+        return {channel: self.buffer_of(channel) for channel in self._space.channels}
 
     def pending_channels(self) -> List[Channel]:
         """Pending channels in the canonical (slot) enumeration order."""
@@ -296,30 +310,22 @@ class SpvpState:
     # ------------------------------------------------------------------ derive
     def _derive(
         self,
-        updates: List[Tuple[int, object]],
+        updates: List[Tuple[int, int]],
         pending: FrozenSet[Channel],
         event: Optional[SpvpEvent],
     ) -> "SpvpState":
-        """A new state with ``updates`` applied, sharing untouched chunks."""
-        chunks = list(self._chunks)
-        touched: Dict[int, List[object]] = {}
-        delta: List[Tuple[int, object, object]] = []
+        """A new state with ``updates`` (slot, new id) applied."""
+        ids = array("i", self._ids)
+        delta: List[Tuple[int, int, int]] = []
         for slot, new in updates:
-            index = slot >> _CHUNK_SHIFT
-            chunk = touched.get(index)
-            if chunk is None:
-                chunk = list(chunks[index])
-                touched[index] = chunk
-            old = chunk[slot & _CHUNK_MASK]
+            old = ids[slot]
             if old == new:
                 continue
-            chunk[slot & _CHUNK_MASK] = new
+            ids[slot] = new
             delta.append((slot, old, new))
-        for index, chunk in touched.items():
-            chunks[index] = tuple(chunk)
         return SpvpState.__new__(SpvpState)._init(
             self._space,
-            tuple(chunks),
+            ids,
             pending,
             parent=self,
             delta=tuple(delta),
@@ -327,14 +333,30 @@ class SpvpState:
         )
 
     # ------------------------------------------------------------------ hashing
-    def _component(self, hasher, slot: int, value: object) -> int:
-        """The Zobrist component of ``value`` in ``slot``, path-normalised."""
-        if slot >= self._space.buffer_base:
+    def _component_of(self, hasher, slot: int, eid: int) -> int:
+        """The Zobrist component of intern id ``eid`` in ``slot``.
+
+        Fast path: a hasher bound to this space's intern table (the
+        :class:`~repro.modelcheck.hashing.ZobristFingerprinter` the transient
+        explorer constructs) keys components directly on ``(slot, id)`` — no
+        decode, no path hashing.  Any other hasher gets the legacy
+        path-normalised components, so fingerprints stay comparable for
+        callers that bring their own interner.
+        """
+        space = self._space
+        table = space.table
+        if getattr(hasher, "interner", None) is table:
+            return hasher.component_id(slot, eid)
+        if slot >= space.buffer_base:
             return hasher.queue_component(
                 slot,
-                (route.path if route is not None else None for route in value),  # type: ignore[union-attr]
+                (
+                    route.path if route is not None else None
+                    for route in (table.route(rid) for rid in table.queue(eid))
+                ),
             )
-        return hasher.component(slot, value.path if value is not None else None)  # type: ignore[union-attr]
+        route = table.route(eid)
+        return hasher.component(slot, route.path if route is not None else None)
 
     def fingerprint(self, hasher) -> int:
         """This state's Zobrist fingerprint under ``hasher``.
@@ -358,32 +380,45 @@ class SpvpState:
         if state is None or state._fp_token is not hasher:
             base = state if state is not None else self
             value = 0
-            slot = 0
-            for chunk in base._chunks:
-                for entry in chunk:
-                    value ^= base._component(hasher, slot, entry)
-                    slot += 1
+            component = base._component_of
+            for slot, eid in enumerate(base._ids):
+                value ^= component(hasher, slot, eid)
             base._fp_token = hasher
             base._fp = value
         else:
             value = state._fp
         for derived in reversed(chain):
+            component = derived._component_of
             for slot, old, new in derived.delta:
-                value ^= derived._component(hasher, slot, old)
-                value ^= derived._component(hasher, slot, new)
+                value ^= component(hasher, slot, old)
+                value ^= component(hasher, slot, new)
             derived._fp_token = hasher
             derived._fp = value
         return value
 
     # ------------------------------------------------------------------ dunder
+    def _slot_values(self) -> Tuple[object, ...]:
+        """All slots decoded to routes / route tuples (cross-table compares)."""
+        space = self._space
+        table = space.table
+        buffer_base = space.buffer_base
+        return tuple(
+            tuple(table.route(rid) for rid in table.queue(eid))
+            if slot >= buffer_base
+            else table.route(eid)
+            for slot, eid in enumerate(self._ids)
+        )
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, SpvpState):
             return NotImplemented
-        if self._space is not other._space and self._space.nodes != other._space.nodes:
+        if self._space is other._space:
+            return self._ids == other._ids
+        if self._space.nodes != other._space.nodes:
             return False
-        return self._chunks == other._chunks
+        return self._slot_values() == other._slot_values()
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -391,7 +426,7 @@ class SpvpState:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((self._space.nodes, self._chunks))
+            self._hash = hash((self._space.nodes, self._slot_values()))
         return self._hash
 
     def __repr__(self) -> str:
@@ -413,32 +448,54 @@ class SpvpStepper:
     def __init__(self, instance: PathVectorInstance) -> None:
         self.instance = instance
         self.space = _space_for(instance)
+        self.table = self.space.table
+        # Id-keyed memos over the space's intern table.  SPVP explores a very
+        # large number of interleavings of a small set of distinct routes, so
+        # after warm-up a delivery is dict lookups on small-int keys end to
+        # end — no route hashing on the hot path.  Memo values may legally be
+        # id 0 (None route / empty queue): misses test ``is None``.
+        #: (rib slot, advertised rid) -> imported rid (post loop-check).
+        self._import_ids: Dict[Tuple[int, int], int] = {}
+        #: (out channel slot, best rid) -> advertised rid.
+        self._export_ids: Dict[Tuple[int, int], int] = {}
+        #: (node, rid) -> rank tuple.
+        self._rank_ids: Dict[Tuple[str, int], Tuple] = {}
+        #: node -> rid of its origin route.
+        self._origin_ids: Dict[str, int] = {}
+
+    def _origin_id(self, node: str) -> int:
+        rid = self._origin_ids.get(node)
+        if rid is None:
+            rid = self.table.route_id(self.instance.origin_route(node))  # type: ignore[attr-defined]
+            self._origin_ids[node] = rid
+        return rid
+
+    def _rank_of(self, node: str, rid: int) -> Tuple:
+        rank = self._rank_ids.get((node, rid))
+        if rank is None:
+            rank = self.instance.cached_rank(node, self.table.route(rid))
+            self._rank_ids[(node, rid)] = rank
+        return rank
 
     # ------------------------------------------------------------------ roots
     def initial_state(self) -> SpvpState:
         """The SPVP initial state: origins hold and advertise their route."""
         space = self.space
         instance = self.instance
-        values: List[object] = [None] * space.total_slots
-        for slot in range(space.buffer_base, space.total_slots):
-            values[slot] = ()
+        table = self.table
+        ids = array("i", bytes(4 * space.total_slots))
         pending: List[Channel] = []
         for node in space.nodes:
             if node not in space.origin_set:
                 continue
             route = instance.origin_route(node)  # type: ignore[attr-defined]
-            values[space.best_slot[node]] = route
+            ids[space.best_slot[node]] = table.route_id(route)
             # Origins advertise their path to every peer up front (Appendix A).
             for peer, channel, slot in space.out_slots_of[node]:
-                values[slot] = (instance.cached_export(node, peer, route),)
+                advertisement = instance.cached_export(node, peer, route)
+                ids[slot] = table.queue_id((table.route_id(advertisement),))
                 pending.append(channel)
-        chunks = tuple(
-            tuple(values[start : start + _CHUNK_SIZE])
-            for start in range(0, len(values), _CHUNK_SIZE)
-        )
-        return SpvpState.__new__(SpvpState)._init(
-            self.space, chunks, frozenset(pending)
-        )
+        return SpvpState.__new__(SpvpState)._init(space, ids, frozenset(pending))
 
     def state_from_maps(
         self,
@@ -448,22 +505,21 @@ class SpvpStepper:
     ) -> SpvpState:
         """Build a state from explicit maps (oracle tests, reconstruction)."""
         space = self.space
-        values: List[object] = [None] * space.total_slots
+        table = self.table
+        ids = array("i", bytes(4 * space.total_slots))
         for node, slot in space.best_slot.items():
-            values[slot] = best[node]
+            ids[slot] = table.route_id(best[node])
         for key, slot in space.rib_slot.items():
-            values[slot] = rib_in[key]
+            ids[slot] = table.route_id(rib_in[key])
         pending: List[Channel] = []
         for channel in space.channels:
             queue = tuple(buffers[channel])
-            values[space.channel_slot[channel]] = queue
+            ids[space.channel_slot[channel]] = table.queue_id(
+                tuple(table.route_id(route) for route in queue)
+            )
             if queue:
                 pending.append(channel)
-        chunks = tuple(
-            tuple(values[start : start + _CHUNK_SIZE])
-            for start in range(0, len(values), _CHUNK_SIZE)
-        )
-        return SpvpState.__new__(SpvpState)._init(space, chunks, frozenset(pending))
+        return SpvpState.__new__(SpvpState)._init(space, ids, frozenset(pending))
 
     # ------------------------------------------------------------------ stepping
     def deliver(self, state: SpvpState, channel: Channel) -> Tuple[SpvpEvent, SpvpState]:
@@ -473,76 +529,108 @@ class SpvpStepper:
         :class:`ProtocolError` when the channel has nothing pending.
         """
         space = self.space
-        instance = self.instance
+        table = self.table
         channel_slot = space.channel_slot.get(channel)
         if channel_slot is None:
             raise ProtocolError(f"channel {channel} has no pending message")
-        queue: Tuple[Optional[Route], ...] = state._get(channel_slot)  # type: ignore[assignment]
-        if not queue:
+        qid = state._ids[channel_slot]
+        if not qid:
             raise ProtocolError(f"channel {channel} has no pending message")
+        queue_rids = table.queue(qid)
         sender, receiver = channel
-        advertised = queue[0]
-        remaining = queue[1:]
-        updates: List[Tuple[int, object]] = [(channel_slot, remaining)]
+        advertised_rid = queue_rids[0]
+        remaining_qid = table.queue_id(queue_rids[1:])
+        updates: List[Tuple[int, int]] = [(channel_slot, remaining_qid)]
 
-        imported = (
-            None
-            if advertised is None
-            else instance.cached_import(receiver, sender, advertised)
+        rib_slot = space.rib_slot[(receiver, sender)]
+        imported_rid = self._import_ids.get((rib_slot, advertised_rid))
+        if imported_rid is None:
+            advertised = table.route(advertised_rid)
+            imported = (
+                None
+                if advertised is None
+                else self.instance.cached_import(receiver, sender, advertised)
+            )
+            if imported is not None and imported.path.contains(receiver):
+                imported = None
+            imported_rid = table.route_id(imported)
+            self._import_ids[(rib_slot, advertised_rid)] = imported_rid
+        updates.append((rib_slot, imported_rid))
+
+        best_slot = space.best_slot[receiver]
+        current_rid = state._ids[best_slot]
+        new_best_rid = self._select_best_id(
+            state, receiver, sender, imported_rid, current_rid
         )
-        if imported is not None and imported.path.contains(receiver):
-            imported = None
-        updates.append((space.rib_slot[(receiver, sender)], imported))
-
-        current: Optional[Route] = state._get(space.best_slot[receiver])  # type: ignore[assignment]
-        new_best = self._select_best(state, receiver, sender, imported, current)
-        updates.append((space.best_slot[receiver], new_best))
-        event = SpvpEvent(node=receiver, peer=sender, advertised=advertised, new_best=new_best)
+        updates.append((best_slot, new_best_rid))
+        event = SpvpEvent(
+            node=receiver,
+            peer=sender,
+            advertised=table.route(advertised_rid),
+            new_best=table.route(new_best_rid),
+        )
 
         pending = state.pending
-        if not remaining:
+        if not remaining_qid:
             pending = pending - {channel}
-        old_path = current.path if current is not None else None
-        new_path = new_best.path if new_best is not None else None
-        if old_path != new_path:
+        if table.path_id(current_rid) != table.path_id(new_best_rid):
             # The receiver re-advertises its (possibly withdrawn) best path.
             added: List[Channel] = []
+            export_ids = self._export_ids
             for peer, out_channel, out_slot in space.out_slots_of[receiver]:
-                advertisement = instance.cached_export(receiver, peer, new_best)
-                out_queue: Tuple[Optional[Route], ...] = (
-                    remaining if out_slot == channel_slot else state._get(out_slot)  # type: ignore[assignment]
+                advertisement_rid = export_ids.get((out_slot, new_best_rid))
+                if advertisement_rid is None:
+                    advertisement_rid = table.route_id(
+                        self.instance.cached_export(
+                            receiver, peer, table.route(new_best_rid)
+                        )
+                    )
+                    export_ids[(out_slot, new_best_rid)] = advertisement_rid
+                out_qid = (
+                    remaining_qid if out_slot == channel_slot else state._ids[out_slot]
                 )
-                updates.append((out_slot, out_queue + (advertisement,)))
+                updates.append(
+                    (out_slot, table.queue_id(table.queue(out_qid) + (advertisement_rid,)))
+                )
                 added.append(out_channel)
             pending = pending | frozenset(added)
         return event, state._derive(updates, pending, event)
 
-    def _select_best(
+    def _select_best_id(
         self,
         state: SpvpState,
         node: str,
         updated_peer: str,
-        updated_entry: Optional[Route],
-        current: Optional[Route],
-    ) -> Optional[Route]:
-        """Recompute ``node``'s best route from its rib-in and local origin."""
-        instance = self.instance
-        candidates: List[Route] = []
+        updated_rid: int,
+        current_rid: int,
+    ) -> int:
+        """Recompute ``node``'s best route (as an intern id) from its rib-in."""
+        ids = state._ids
+        best_rid = 0
+        best_rank = None
+        current_in = False
         if node in self.space.origin_set:
-            candidates.append(instance.origin_route(node))  # type: ignore[attr-defined]
+            best_rid = self._origin_id(node)
+            best_rank = self._rank_of(node, best_rid)
+            current_in = best_rid == current_rid
         for peer, slot in self.space.rib_slots_of[node]:
-            stored = updated_entry if peer == updated_peer else state._get(slot)
-            if stored is not None:
-                candidates.append(stored)  # type: ignore[arg-type]
-        if not candidates:
-            return None
-        best = min(candidates, key=lambda route: instance.cached_rank(node, route))
-        if current is not None and current in candidates:
+            rid = updated_rid if peer == updated_peer else ids[slot]
+            if not rid:
+                continue
+            if rid == current_rid:
+                current_in = True
+            rank = self._rank_of(node, rid)
+            if best_rank is None or rank < best_rank:
+                best_rid = rid
+                best_rank = rank
+        if best_rank is None:
+            return 0
+        if current_rid and current_in:
             # Appendix A: if the best rib-in entry ties with the still-valid
             # current best path, the best path does not change.
-            if instance.cached_rank(node, current) == instance.cached_rank(node, best):
-                return current
-        return best
+            if self._rank_of(node, current_rid) == best_rank:
+                return current_rid
+        return best_rid
 
     def drain(self, state: SpvpState, max_steps: int = 100_000) -> SpvpState:
         """Deliver pending messages in canonical (slot) order until converged.
@@ -571,13 +659,14 @@ class SpvpStepper:
         peer sees a withdraw.
         """
         space = self.space
-        updates: List[Tuple[int, object]] = []
+        withdraw_qid = self.table.queue_id((0,))
+        updates: List[Tuple[int, int]] = []
         added: List[Channel] = []
         for channel in ((a, b), (b, a)):
             slot = space.channel_slot.get(channel)
             if slot is None:
                 continue
-            updates.append((slot, (None,)))
+            updates.append((slot, withdraw_qid))
             added.append(channel)
         return state._derive(updates, state.pending | frozenset(added), None)
 

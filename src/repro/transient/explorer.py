@@ -67,7 +67,7 @@ from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.config.objects import NetworkConfig
 from repro.exceptions import ProtocolError
-from repro.modelcheck.hashing import StateInterner, ZobristFingerprinter
+from repro.modelcheck.hashing import ZobristFingerprinter
 from repro.modelcheck.por import (
     AmpleSelector,
     ChannelIndependence,
@@ -131,6 +131,16 @@ class TransientOptions:
     independent of the violation's receiver chain are dropped while the
     shortened sequence still replays to the same violating property and
     message.
+
+    ``rank_immunity`` (``"ample"`` mode only) enables the per-session
+    refinement of the ample activity closure: sessions whose static rank
+    bound (:meth:`~repro.protocols.base.PathVectorInstance.
+    session_rank_bound`) proves they can never dislodge the receiver's
+    current best do not propagate activity, so receivers mid-convergence
+    can still be proven frozen.  Sound (verdicts and converged states are
+    preserved; the equivalence suite pins this against ``por="full"``);
+    disable to reproduce the pre-refinement reduction exactly, e.g. when
+    comparing reduction ledgers across versions.
     """
 
     max_states: int = 20_000
@@ -140,6 +150,7 @@ class TransientOptions:
     por: str = "ample"
     frontier: str = "fifo"
     minimize_witnesses: bool = False
+    rank_immunity: bool = True
 
     def __post_init__(self) -> None:
         if self.por not in POR_MODES:
@@ -347,6 +358,7 @@ class TransientAnalyzer:
         por: str = "ample",
         frontier: str = "fifo",
         minimize_witnesses: bool = False,
+        rank_immunity: bool = True,
         options: Optional[TransientOptions] = None,
     ) -> None:
         if options is None:
@@ -358,6 +370,7 @@ class TransientAnalyzer:
                 por=por,
                 frontier=frontier,
                 minimize_witnesses=minimize_witnesses,
+                rank_immunity=rank_immunity,
             )
         else:
             overridden = {
@@ -370,6 +383,7 @@ class TransientAnalyzer:
                     ("por", por),
                     ("frontier", frontier),
                     ("minimize_witnesses", minimize_witnesses),
+                    ("rank_immunity", rank_immunity),
                 )
                 if value != TransientOptions.__dataclass_fields__[name].default
             }
@@ -387,6 +401,7 @@ class TransientAnalyzer:
         self.por = options.por
         self.frontier_mode = options.frontier
         self.minimize_witnesses = options.minimize_witnesses
+        self.rank_immunity = options.rank_immunity
         #: Set for the duration of one analyze() call when witnesses are
         #: minimised (the replayer needs the stepper and the search root).
         self._stepper: Optional[SpvpStepper] = None
@@ -412,7 +427,11 @@ class TransientAnalyzer:
         result.reduction = reduction
 
         stepper = SpvpStepper(self.instance)
-        hasher = ZobristFingerprinter(StateInterner())
+        # Bind the fingerprinter to the stepper's intern table: state slots
+        # already hold table ids, so every Zobrist component is a dict lookup
+        # keyed on (slot, id) — no route decoding or path hashing.
+        hasher = ZobristFingerprinter(stepper.table)
+        hasher.state_bytes_per_state = 64 + 4 * stepper.space.total_slots
         root = stepper.initial_state()
         for event in initial_events:
             root = _apply_initial_event(stepper, root, event)
@@ -423,7 +442,14 @@ class TransientAnalyzer:
         use_sleep = self.por in ("ample", "sleep")
         independence = ChannelIndependence(self.instance) if use_sleep else None
         selector = (
-            AmpleSelector(self.instance, independence) if self.por == "ample" else None
+            AmpleSelector(
+                self.instance,
+                independence,
+                rank_immunity=self.rank_immunity,
+                reduction=reduction,
+            )
+            if self.por == "ample"
+            else None
         )
 
         #: fingerprint -> the sleep set the state was admitted/last queued with.

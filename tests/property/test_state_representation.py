@@ -85,6 +85,89 @@ class TestWithBestAgainstTupleOracle:
             assert RpvpState.from_dict(oracle).fingerprint(hasher) == incremental
 
 
+class TestRouteInternTableRoundTrip:
+    """The intern table is a bijection between entries and dense ids.
+
+    The array-native state cores replace every stored ``Route`` (and channel
+    queue) with its intern id, so equality/hash/fingerprint correctness all
+    reduce to: equal entries always intern to the *same* id, distinct entries
+    to distinct ids, and every id decodes back to an equal entry.
+    """
+
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=40), max_size=50))
+    @settings(max_examples=150, deadline=None)
+    def test_route_ids_round_trip_and_are_canonical(self, seeds):
+        from repro.protocols.interning import RouteInternTable
+
+        table = RouteInternTable()
+        assert table.route_id(None) == 0 and table.route(0) is None
+        by_id = {}
+        for seed in seeds:
+            route = _route(seed)
+            rid = table.route_id(route)
+            assert rid > 0
+            # id -> Route -> id is the identity (and a *fresh* equal Route
+            # re-interns to the same id: ids are canonical per value).
+            assert table.route(rid) == route
+            assert table.route_id(_route(seed)) == rid
+            previous = by_id.setdefault(rid, route)
+            assert previous == route
+        # Distinct ids decode to distinct routes; path ids agree with path
+        # equality across every pair (the stepper's re-advertise test).
+        ids = sorted(by_id)
+        for i, rid in enumerate(ids):
+            for other in ids[i + 1 :]:
+                assert by_id[rid] != by_id[other]
+                same_path = by_id[rid].path == by_id[other].path
+                assert (table.path_id(rid) == table.path_id(other)) == same_path
+        assert len(table) >= len(by_id)
+
+    @given(
+        queues=st.lists(
+            st.lists(st.integers(min_value=0, max_value=40), max_size=5),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_queue_ids_round_trip(self, queues):
+        from repro.protocols.interning import RouteInternTable
+
+        table = RouteInternTable()
+        assert table.queue_id(()) == 0 and table.queue(0) == ()
+        for seeds in queues:
+            rids = tuple(
+                table.route_id(_route(seed)) if seed % 5 else 0 for seed in seeds
+            )
+            qid = table.queue_id(rids)
+            assert table.queue(qid) == rids
+            assert table.queue_id(tuple(rids)) == qid
+            assert (qid == 0) == (not rids)
+
+    def test_states_of_one_stepper_share_one_table(self):
+        from repro.protocols.spvp import SpvpStepper
+        from tests.test_rpvp_spvp import disagree_gadget
+
+        stepper = SpvpStepper(disagree_gadget())
+        state = stepper.initial_state()
+        frontier = [state]
+        seen = {state}
+        while frontier and len(seen) < 200:
+            current = frontier.pop()
+            assert current._space.table is stepper.table
+            for channel in current.pending_channels():
+                _event, child = stepper.deliver(current, channel)
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        # Shared table => equal routes have identical ids across states, so
+        # cross-state equality is a flat array comparison.
+        table = stepper.table
+        for explored in seen:
+            for node in stepper.space.nodes:
+                best = explored.best_of(node)
+                assert table.route(table.route_id(best)) == best
+
+
 def _force_full_scan(monkeypatch):
     """Make every candidate lookup use the naive full rescan (the oracle)."""
 

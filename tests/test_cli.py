@@ -370,6 +370,25 @@ class TestTransientCommand:
         document = json.loads(capsys.readouterr().out)
         assert document["incremental"]["pecs_from_cache"] == document["incremental"]["pecs_total"]
 
+    def test_no_rank_immunity_escape_hatch(self, bgp_workspace, capsys):
+        """--no-rank-immunity disables the refinement; ledgers prove it ran."""
+        args = [
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--json",
+            "--max-states", "2000",
+        ]
+        code_on = _run(args)
+        document_on = json.loads(capsys.readouterr().out)
+        code_off = _run(args + ["--no-rank-immunity"])
+        document_off = json.loads(capsys.readouterr().out)
+        # The refinement must not change the verdict, only the effort.
+        assert code_on == code_off
+        assert document_on["holds"] == document_off["holds"]
+        reductions_on = [run["result"]["reduction"] for run in document_on["runs"]]
+        reductions_off = [run["result"]["reduction"] for run in document_off["runs"]]
+        assert any(r["rank_immune_sessions"] > 0 for r in reductions_on)
+        assert all(r["rank_immune_sessions"] == 0 for r in reductions_off)
+
     def test_no_bgp_prefixes_is_a_clean_no_op(self, workspace, capsys):
         code = _run([
             "transient", "--topology", workspace / "net.topo",

@@ -9,7 +9,9 @@ Subcommands:
 
 ``verify``
     Run the Plankton verifier against one or more policies.  Exit code 0 when
-    every policy holds, 1 when a violation is found, 2 on input errors.
+    every policy holds, 1 when a violation is found, 2 on input errors or
+    when the run degraded to a partial result (some tasks exhausted their
+    retries; see the report's ``errors`` section).
 
 ``pecs``
     Print the Packet Equivalence Class partition and the PEC dependency graph
@@ -57,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path as FilePath
 from typing import Dict, List, Optional, Sequence
@@ -85,7 +88,11 @@ from repro.policies import (
 )
 from repro.topology.io import load_topology
 
-#: Exit codes (documented in ``docs/cli.md``).
+#: Exit codes (documented in ``docs/cli.md``).  A *partial* result — every
+#: completed task holds but some tasks exhausted their retries — exits with
+#: ``EXIT_ERROR``: "we could not prove it holds" must never look like
+#: "it holds" to a CI gate.  A violation wins over partiality (a found
+#: counterexample is definitive regardless of other tasks' fate).
 EXIT_HOLDS = 0
 EXIT_VIOLATION = 1
 EXIT_ERROR = 2
@@ -93,6 +100,27 @@ EXIT_ERROR = 2
 
 class CliError(ReproError):
     """Raised for bad command-line input; reported without a traceback."""
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Surface the engine's structured event stream (``repro.*`` loggers).
+
+    ``-v`` shows supervision events at INFO/WARNING (retries, timeouts,
+    pool rebuilds, cache cold starts); ``-vv`` adds DEBUG (per-task
+    start/finish).  Without ``-v`` only warnings and errors reach stderr —
+    so a degraded run is never silent, even unasked.
+    """
+    logger = logging.getLogger("repro")
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO if verbosity == 1 else logging.DEBUG
+    )
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
 
 
 # --------------------------------------------------------------------------- input loading
@@ -198,6 +226,8 @@ def _build_options(args: argparse.Namespace) -> PlanktonOptions:
         backend=args.backend,
         stop_at_first_violation=not args.all_violations,
         optimizations=flags,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
     )
 
 
@@ -224,6 +254,9 @@ def _verify_document(result, policy) -> Dict[str, object]:
     }
     if result.incremental is not None:
         document["incremental"] = result.incremental.as_dict()
+    if result.errors:
+        document["complete"] = False
+        document["errors"] = [failure.as_dict() for failure in result.errors]
     return document
 
 
@@ -237,6 +270,18 @@ def _print_verify_result(args: argparse.Namespace, result, policy) -> None:
         for violation in result.violations:
             print()
             print(violation.render())
+        for failure in result.errors:
+            print()
+            print(failure.render())
+
+
+def _verify_exit_code(result) -> int:
+    """Verdict → exit code: violation beats partial beats holds."""
+    if not result.holds:
+        return EXIT_VIOLATION
+    if getattr(result, "errors", None):
+        return EXIT_ERROR
+    return EXIT_HOLDS
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -258,7 +303,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         write_report(result, args.report, title=f"{policy.name} on {network.topology.name}")
 
     _print_verify_result(args, result, policy)
-    return EXIT_HOLDS if result.holds else EXIT_VIOLATION
+    return _verify_exit_code(result)
 
 
 def _cmd_diff_verify(args: argparse.Namespace) -> int:
@@ -303,7 +348,10 @@ def _cmd_diff_verify(args: argparse.Namespace) -> int:
         for violation in new_result.violations:
             print()
             print(violation.render())
-    return EXIT_HOLDS if new_result.holds else EXIT_VIOLATION
+        for failure in new_result.errors:
+            print()
+            print(failure.render())
+    return _verify_exit_code(new_result)
 
 
 def _cmd_transient(args: argparse.Namespace) -> int:
@@ -343,6 +391,8 @@ def _cmd_transient(args: argparse.Namespace) -> int:
         cores=args.cores,
         backend=args.backend,
         stop_at_first_violation=stop_at_first,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
     )
     transient_options = TransientOptions(
         max_states=args.max_states,
@@ -404,7 +454,10 @@ def _cmd_transient(args: argparse.Namespace) -> int:
         for violation in campaign.violations:
             print()
             print(violation.render())
-    return EXIT_HOLDS if campaign.holds else EXIT_VIOLATION
+        for failure in campaign.errors:
+            print()
+            print(failure.render())
+    return _verify_exit_code(campaign)
 
 
 def _cmd_pecs(args: argparse.Namespace) -> int:
@@ -574,6 +627,21 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="keep searching after the first violation",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task deadline in seconds; a task that overruns is retried "
+            "and, on exhaustion, reported in the result's errors section"
+        ),
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        help="retries per failed/timed-out task before it is recorded as failed",
+    )
+    parser.add_argument(
         "--cache-dir",
         help="directory for the persistent incremental result cache (warm restarts)",
     )
@@ -589,6 +657,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Plankton-style network configuration verification",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help=(
+            "surface the engine's event stream on stderr (-v: supervision "
+            "events — retries, timeouts, pool rebuilds, cache cold starts; "
+            "-vv: per-task debug)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -705,6 +784,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     try:
         return int(args.handler(args))
     except (CliError, ReproError, FileNotFoundError) as exc:

@@ -107,3 +107,29 @@ class PlanktonOptions:
     #: Keep every converged data plane in the result (memory-hungry; mainly
     #: for tests and for PECs that downstream PECs depend on).
     keep_data_planes: bool = False
+
+    # ------------------------------------------------------------- supervision
+    # Fault-tolerance knobs enforced by the execution engine's supervisor
+    # (:mod:`repro.engine.backends`).  They shape *how* a result is computed,
+    # never *what* it contains, so the incremental result cache deliberately
+    # excludes them from its fingerprints (like ``cores``/``backend``).
+
+    #: Wall-clock deadline per task attempt, in seconds (None = no deadline).
+    #: The process backend enforces it preemptively (a hung worker is killed
+    #: and the pool rebuilt); the serial backend enforces it cooperatively
+    #: between exploration steps.
+    task_timeout: Optional[float] = None
+    #: How many times a failed or timed-out task is retried before the
+    #: supervisor records a structured per-task failure
+    #: (:class:`~repro.core.results.TaskFailure`) and degrades the verify to
+    #: a partial result instead of raising.
+    task_retries: int = 2
+    #: Base delay of the jittered exponential retry backoff, seconds
+    #: (attempt ``n`` waits ``retry_backoff * 2**(n-1)``, capped and jittered
+    #: into ``[0.5, 1.0]`` of the nominal delay).
+    retry_backoff: float = 0.05
+    #: Upper bound on one backoff delay, seconds.
+    retry_backoff_cap: float = 2.0
+    #: How many *crash*-triggered pool rebuilds the process backend tolerates
+    #: before finishing the remaining tasks on the serial backend.
+    max_pool_rebuilds: int = 3

@@ -36,6 +36,47 @@ class Violation:
 
 
 @dataclass
+class TaskFailure:
+    """One engine task that exhausted its retries (the ``errors`` section).
+
+    A failed task never aborts a verify: the supervisor records this
+    structured entry and the run degrades to a *partial* result
+    (:attr:`VerificationResult.complete` is False) whose ``errors`` name
+    exactly the tasks that produced no runs.
+
+    ``kind`` mirrors :class:`repro.engine.graph.TaskError`: ``"exception"``,
+    ``"timeout"``, ``"crash"`` or ``"upstream"``.
+    """
+
+    task_id: int
+    pec_index: int
+    failure_description: str
+    kind: str
+    message: str
+    attempts: int
+    task_kind: str = "verify"
+
+    def render(self) -> str:
+        return (
+            f"task error : {self.kind} after {self.attempts} attempt(s)\n"
+            f"task       : #{self.task_id} ({self.task_kind}, PEC {self.pec_index}, "
+            f"failures {self.failure_description})\n"
+            f"message    : {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "pec_index": self.pec_index,
+            "failures": self.failure_description,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "task_kind": self.task_kind,
+        }
+
+
+@dataclass
 class PecRunResult:
     """Outcome of analysing one PEC under one failure scenario."""
 
@@ -76,6 +117,15 @@ class VerificationResult:
     #: recompute accounting for this run.  None for cold ``Plankton.verify``.
     incremental: Optional[object] = None
 
+    #: Tasks that exhausted their retries: the verify degraded to a partial
+    #: result instead of raising.  Empty on a complete run.
+    errors: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expanded task produced a result (no ``errors``)."""
+        return not self.errors
+
     def record(self, run: PecRunResult) -> None:
         """Fold one PEC run into the aggregate."""
         self.pec_runs.append(run)
@@ -102,6 +152,7 @@ class VerificationResult:
         """
         self.pec_runs.extend(other.pec_runs)
         self.violations.extend(other.violations)
+        self.errors.extend(other.errors)
         self.holds = self.holds and other.holds
         self.pecs_analyzed = max(self.pecs_analyzed, other.pecs_analyzed)
         self.failure_scenarios = max(self.failure_scenarios, other.failure_scenarios)
@@ -118,6 +169,8 @@ class VerificationResult:
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
         verdict = "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
+        if self.errors:
+            verdict += f" [PARTIAL: {len(self.errors)} task(s) failed]"
         return (
             f"policies {', '.join(self.policy_names)}: {verdict}; "
             f"{self.pecs_analyzed} PEC(s), {self.failure_scenarios} failure scenario(s), "

@@ -15,11 +15,11 @@ order) whenever they execute the same task set.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.core.options import PlanktonOptions
-from repro.core.results import VerificationResult
-from repro.engine.graph import TaskGraph, TaskResult, TaskSpec
+from repro.core.results import TaskFailure, VerificationResult
+from repro.engine.graph import TaskError, TaskGraph, TaskResult, TaskSpec
 
 
 class ResultAggregator:
@@ -42,6 +42,7 @@ class ResultAggregator:
                 self._pending_dependents[dependency_id] = (
                     self._pending_dependents.get(dependency_id, 0) + 1
                 )
+        self._failures: Dict[int, TaskFailure] = {}
         self.stop_requested = False
 
     # ------------------------------------------------------------------ intake
@@ -58,6 +59,22 @@ class ResultAggregator:
         self._release_consumed_planes(spec)
         if result.has_violation and self._options.stop_at_first_violation:
             self.stop_requested = True
+
+    def record_failure(self, spec: TaskSpec, error: TaskError, attempts: int) -> None:
+        """Record one task that exhausted its retries (supervision layer).
+
+        The failure becomes an entry of the final result's ``errors``
+        section; the run degrades to a partial result instead of raising.
+        """
+        from repro.engine.supervision import task_failure_from
+
+        self._failures[spec.task_id] = task_failure_from(spec, error, attempts)
+        self._release_consumed_planes(spec)
+
+    @property
+    def failed_tasks(self) -> Set[int]:
+        """Ids of tasks recorded as failed (drives upstream cascades)."""
+        return set(self._failures)
 
     def upstream_planes(self, spec: TaskSpec) -> Dict[int, List]:
         """The converged data planes ``spec`` consumes, keyed by PEC index.
@@ -86,13 +103,17 @@ class ResultAggregator:
 
     # ------------------------------------------------------------------ verdict
     def has_result(self, task_id: int) -> bool:
-        """Whether a task's result has been recorded."""
-        return task_id in self._partials
+        """Whether a task's result (or structured failure) has been recorded."""
+        return task_id in self._partials or task_id in self._failures
 
     def finalize(self, result: VerificationResult) -> VerificationResult:
-        """Merge all partial results into ``result`` in task-graph order."""
+        """Merge all partial results into ``result`` in task-graph order;
+        structured task failures become the result's ``errors`` section."""
         for task in self._graph.tasks:
             partial = self._partials.get(task.task_id)
             if partial is not None:
                 result.merge(partial)
+            failure = self._failures.get(task.task_id)
+            if failure is not None:
+                result.errors.append(failure)
         return result

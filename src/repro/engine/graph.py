@@ -74,6 +74,36 @@ class TaskSpec:
 
 
 @dataclass
+class TaskError:
+    """A captured per-task execution error (picklable: strings only).
+
+    ``kind`` names how the attempt died: ``"exception"`` (the task raised),
+    ``"timeout"`` (it overran :attr:`PlanktonOptions.task_timeout`),
+    ``"crash"`` (its worker process died abruptly), or ``"upstream"`` (a task
+    it depends on failed, so it could never run).
+    """
+
+    kind: str
+    message: str
+    exception_type: str = ""
+    traceback: str = ""
+
+    @staticmethod
+    def from_exception(exc: BaseException, kind: str = "exception") -> "TaskError":
+        import traceback as _traceback
+
+        rendered = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return TaskError(
+            kind=kind,
+            message=str(exc) or type(exc).__name__,
+            exception_type=type(exc).__qualname__,
+            traceback=rendered[-4000:],
+        )
+
+
+@dataclass
 class TaskResult:
     """What one executed task sends back to the aggregator.
 
@@ -82,12 +112,16 @@ class TaskResult:
     ``data_planes`` carries the converged data planes when the task's spec
     asked for them (``collect_outcomes``); only the data planes travel
     across process boundaries — the RPVP event steps stay worker-local.
+    ``error`` is set instead of ``runs`` when the attempt failed (the
+    supervisor decides between retry and a structured failure record).
     """
 
     task_id: int
     runs: List = field(default_factory=list)
     data_planes: List = field(default_factory=list)
     cancelled: bool = False
+    error: Optional[TaskError] = None
+    attempts: int = 1
 
     @property
     def has_violation(self) -> bool:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 import pickle
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -51,14 +52,34 @@ _INHERITED: Optional[Tuple[str, WorkerRuntime]] = None
 _CANCEL_EVENT = None
 
 
+#: Monotonic per-process counter behind :func:`fresh_pool_nonce`.
+_POOL_NONCE = itertools.count()
+
+
+def fresh_pool_nonce() -> str:
+    """A token no two pool creations ever share (pid + process counter).
+
+    Identity-based fallback keys (``id(network)``) are only unique while the
+    objects are alive: a garbage-collected network's address can be reused
+    by the next verify call, which would let a long-lived worker serve a
+    stale cached runtime for a *different* network.  Folding a per-call
+    nonce into every identity-keyed fingerprint makes that collision
+    impossible by construction.
+    """
+    return f"{os.getpid()}:{next(_POOL_NONCE)}"
+
+
 def network_fingerprint(network, options: PlanktonOptions, policies: Sequence) -> str:
     """A stable cache key for one (network, options, policies) combination."""
     try:
         payload = pickle.dumps((network, options, list(policies)))
     except Exception:
-        # Unpicklable user policies still get a per-call key: fall back to
-        # object identities, which are stable within one verify call.
-        payload = repr((id(network), id(options), tuple(id(p) for p in policies))).encode()
+        # Unpicklable user policies still get a per-call key: object
+        # identities, made collision-proof across calls by a fresh nonce
+        # (ids alone can repeat once the old objects are garbage-collected).
+        payload = repr(
+            (fresh_pool_nonce(), id(network), id(options), tuple(id(p) for p in policies))
+        ).encode()
     return hashlib.sha256(payload).hexdigest()
 
 
@@ -96,8 +117,11 @@ def initialize_worker(fingerprint: str, cancel_event, network, options, policies
     adopts the parent's state); under spawn they are pickled exactly once per
     process here instead of once per task.
     """
+    from repro.engine import faults
+
     global _CANCEL_EVENT
     _CANCEL_EVENT = cancel_event
+    faults.mark_worker()  # kill faults may really SIGKILL from here on
     runtime_for(fingerprint, network=network, options=options, policies=policies)
 
 
@@ -182,17 +206,27 @@ def run_task_batch_in_worker(
     fingerprint: str,
     specs: Sequence[TaskSpec],
     upstream_by_task: Dict[int, Dict[int, List]],
+    attempts_by_task: Optional[Dict[int, int]] = None,
 ) -> List[TaskResult]:
     """Entry point executed inside pool workers: run a chunk of ready tasks.
 
     Chunking amortises the per-future dispatch/result round trip over several
     tasks (the per-(PEC, failure) work of scaled-down instances is a few
     milliseconds — one future each would drown in IPC).  Must stay
-    module-level picklable; only the fingerprint, the specs and upstream data
-    planes cross the process boundary.  The cancellation event is checked
-    between tasks, and a violation under ``stop_at_first_violation`` cuts the
-    chunk short.
+    module-level picklable; only the fingerprint, the specs, upstream data
+    planes and attempt numbers cross the process boundary.  The cancellation
+    event is checked between tasks, and a violation under
+    ``stop_at_first_violation`` cuts the chunk short.
+
+    Task attempts run guarded: an exception inside one task is captured into
+    its result's ``error`` (the coordinating supervisor decides between a
+    retry and a structured failure) instead of poisoning the whole chunk's
+    future.  ``attempts_by_task`` carries the supervisor's attempt counters,
+    which key the deterministic fault-injection schedule.
     """
+    from repro.engine.supervision import run_task_guarded
+
+    attempts_by_task = attempts_by_task or {}
     results: List[TaskResult] = []
     runtime: Optional[WorkerRuntime] = None
     for spec in specs:
@@ -201,12 +235,13 @@ def run_task_batch_in_worker(
             continue
         if runtime is None:
             runtime = runtime_for(fingerprint)
-        result = execute_task(
+        result = run_task_guarded(
             runtime.plankton,
             runtime.policies,
             spec,
             upstream_by_task.get(spec.task_id, {}),
             should_cancel=_cancelled,
+            attempt=attempts_by_task.get(spec.task_id, 0),
         )
         results.append(result)
         if result.has_violation and runtime.plankton.options.stop_at_first_violation:

@@ -26,16 +26,31 @@ Entries round-trip through JSON: per-PEC task results (run records with
 violations, trails and exploration statistics; converged data planes for
 PECs that downstream PECs consume; transient campaign runs) are encoded by
 the codec functions in this module and rebuilt bit-identically on decode.
+
+The on-disk file is **crash-safe and corruption-safe**: writes go through a
+temp-file rename under an advisory file lock (two concurrent writers
+serialise instead of clobbering each other), the document carries a schema
+version and a SHA-256 checksum of its canonical entry payload, and any file
+that is unreadable, truncated, bit-flipped, checksum-less or from a
+different schema version loads as *empty* with a logged warning — a cold
+start is always correct; a misread entry never is.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.config.objects import NetworkConfig
 from repro.core.options import PlanktonOptions
@@ -53,14 +68,48 @@ from repro.protocols.base import RouteSource
 from repro.topology.failures import FailureScenario
 
 #: Bump when the entry schema or the fingerprint inputs change shape; old
-#: cache files are discarded wholesale rather than misread.
-CACHE_SCHEMA_VERSION = 1
+#: cache files are discarded wholesale rather than misread.  v2 added the
+#: payload checksum (v1 files start cold — their fingerprints predate the
+#: supervision-era option fields anyway).
+CACHE_SCHEMA_VERSION = 2
 
 PathLike = Union[str, Path]
+
+#: Cache integrity events (cold starts, corruption, lock contention) go
+#: through the ``repro`` logger tree the CLI's ``-v`` surfaces.
+LOG = logging.getLogger("repro.cache")
 
 
 def _sha(token: object) -> str:
     return hashlib.sha256(repr(token).encode("utf-8")).hexdigest()
+
+
+def _entries_checksum(entries_json: str) -> str:
+    """SHA-256 over the canonical (sorted-key) entries serialisation."""
+    return hashlib.sha256(entries_json.encode("utf-8")).hexdigest()
+
+
+@contextmanager
+def _advisory_lock(target: Path):
+    """An exclusive advisory lock scoped to ``target``'s cache file.
+
+    The lock lives in a sibling ``.lock`` file so the atomic
+    ``os.replace`` of the cache file itself cannot swap the locked inode
+    out from under a second process.  Advisory ``flock`` is cooperative —
+    it serialises this module's readers and writers (two concurrent
+    services sharing a cache directory), not arbitrary programs.  On
+    platforms without ``fcntl`` the lock degrades to a no-op.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    lock_path = target.with_name(target.name + ".lock")
+    with open(lock_path, "a+", encoding="utf-8") as lock_handle:
+        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
 
 
 # --------------------------------------------------------------------------- fingerprints
@@ -191,7 +240,15 @@ def transient_fingerprint(
         )
         for event in transient_config.initial_events
     )
-    transient_options = tuple(sorted(vars(transient_config.options).items()))
+    # Supervision knobs (task_timeout/task_retries) shape *how* a campaign
+    # runs, never *what* it produces — excluded, like cores/backend.
+    transient_options = tuple(
+        sorted(
+            (name, value)
+            for name, value in vars(transient_config.options).items()
+            if name not in ("task_timeout", "task_retries")
+        )
+    )
     return _sha(
         (
             "transient",
@@ -531,45 +588,84 @@ class ResultCache:
     # ------------------------------------------------------------------ disk
     def save(self, path: Optional[PathLike] = None) -> Optional[Path]:
         """Write the store to ``path`` (default: the directory it was opened
-        on); returns the file path, or None when the cache is memory-only."""
+        on); returns the file path, or None when the cache is memory-only.
+
+        The document header (schema version, payload checksum) precedes the
+        entries; the write is temp-file + atomic rename under the advisory
+        lock, so a reader never sees a torn file and a second writer never
+        interleaves.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             return None
-        document = {
-            "schema_version": CACHE_SCHEMA_VERSION,
-            "entries": self._entries,
-        }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=str(target.parent), suffix=".tmp", delete=False, encoding="utf-8"
+        entries_json = json.dumps(self._entries, sort_keys=True)
+        document = (
+            '{"schema_version": %d, "checksum": "%s", "entries": %s}'
+            % (CACHE_SCHEMA_VERSION, _entries_checksum(entries_json), entries_json)
         )
-        try:
-            with handle:
-                json.dump(document, handle)
-            os.replace(handle.name, target)
-        except BaseException:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with _advisory_lock(target):
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=str(target.parent), suffix=".tmp", delete=False, encoding="utf-8"
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    handle.write(document)
+                os.replace(handle.name, target)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
         return target
 
     def load(self, path: PathLike) -> int:
         """Replace the in-memory entries with the file's; returns the count.
 
-        Unreadable files and schema mismatches load as empty (a cache miss
-        is always safe; a misread entry is not).
+        Unreadable, truncated, bit-flipped, checksum-mismatched and
+        wrong-schema files all load as *empty* with a logged warning (a
+        cache miss is always safe; a misread entry is not).  The read holds
+        the same advisory lock as :meth:`save`, so a concurrent writer's
+        rename is never observed mid-flight.
         """
         self._entries = {}
+        target = Path(path)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, ValueError):
+            with _advisory_lock(target):
+                with open(target, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            LOG.warning(
+                "cache: %s is unreadable (%s: %s); starting cold",
+                target,
+                type(exc).__name__,
+                exc,
+            )
             return 0
-        if document.get("schema_version") != CACHE_SCHEMA_VERSION:
+        version = document.get("schema_version") if isinstance(document, dict) else None
+        if version != CACHE_SCHEMA_VERSION:
+            LOG.warning(
+                "cache: %s has schema version %r (this build reads %d); starting cold",
+                target,
+                version,
+                CACHE_SCHEMA_VERSION,
+            )
             return 0
         entries = document.get("entries")
-        if isinstance(entries, dict):
-            self._entries = entries
+        if not isinstance(entries, dict):
+            LOG.warning("cache: %s has a malformed entries section; starting cold", target)
+            return 0
+        expected = document.get("checksum")
+        actual = _entries_checksum(json.dumps(entries, sort_keys=True))
+        if expected != actual:
+            LOG.warning(
+                "cache: %s failed its payload checksum (stored %s, computed %s); "
+                "the file is corrupt — starting cold",
+                target,
+                (expected or "<missing>")[:16],
+                actual[:16],
+            )
+            return 0
+        self._entries = entries
         return len(self._entries)

@@ -116,12 +116,22 @@ class _CacheAwareAggregator:
         self._cached_planes = cached_planes
         self._spec_by_id = spec_by_id
         self.results: Dict[int, object] = {}
+        self.failures: Dict[int, object] = {}  # task id -> TaskFailure
         self.stop_requested = False
 
     def record(self, result) -> None:
         self.results[result.task_id] = result
         if result.has_violation and self._options.stop_at_first_violation:
             self.stop_requested = True
+
+    def record_failure(self, spec, error, attempts: int) -> None:
+        from repro.engine.supervision import task_failure_from
+
+        self.failures[spec.task_id] = task_failure_from(spec, error, attempts)
+
+    @property
+    def failed_tasks(self) -> Set[int]:
+        return set(self.failures)
 
     def upstream_planes(self, spec) -> Dict[int, List]:
         planes: Dict[int, List] = {}
@@ -136,7 +146,7 @@ class _CacheAwareAggregator:
         return planes
 
     def has_result(self, task_id: int) -> bool:
-        return task_id in self.results
+        return task_id in self.results or task_id in self.failures
 
 
 # --------------------------------------------------------------------------- signatures
@@ -229,6 +239,10 @@ def result_signature(result: VerificationResult) -> Tuple:
         result.approximate_memory_bytes,
         tuple(_violation_signature(violation) for violation in result.violations),
         tuple(_run_signature(run) for run in result.pec_runs),
+        tuple(
+            (f.task_id, f.pec_index, f.failure_description, f.kind, f.task_kind)
+            for f in result.errors
+        ),
     )
 
 
@@ -441,8 +455,20 @@ class IncrementalVerifier:
                 if new_id in aggregator.results
                 and not aggregator.results[new_id].cancelled
             }
+            # Exhausted tasks (supervision layer): carry the structured
+            # failures over with their *original* task ids; the merge loop
+            # records them into the result's errors section instead of
+            # silently recomputing them in-process.
+            failed_results = {
+                original: dataclasses.replace(
+                    aggregator.failures[new_id], task_id=original
+                )
+                for original, new_id in id_map.items()
+                if new_id in aggregator.failures
+            }
         else:
             dirty_results = {}
+            failed_results = {}
 
         # ---------------------------------------------------------- ordered merge
         # Walk the full graph in task order, exactly like a cold serial run:
@@ -452,6 +478,10 @@ class IncrementalVerifier:
         # demand so the merged prefix is always complete.
         final_results: Dict[int, TaskResult] = {}
         for task in graph.tasks:
+            failure = failed_results.get(task.task_id)
+            if failure is not None:
+                result.errors.append(failure)
+                continue
             task_result = cached_results.get(task.task_id)
             if task_result is None:
                 task_result = dirty_results.get(task.task_id)
@@ -634,6 +664,7 @@ class IncrementalVerifier:
                     plankton=run_plankton,
                 )
                 runs = sub.runs
+                campaign.errors.extend(sub.errors)
                 stats.pecs_recomputed += 1
                 stats.tasks_recomputed += len(graph.tasks)
                 stats.dirty_pecs.append(pec.index)

@@ -88,6 +88,11 @@ def result_to_dict(
         document["pec_runs"] = [pec_run_to_dict(run) for run in result.pec_runs]
     if result.incremental is not None:
         document["incremental"] = result.incremental.as_dict()
+    if result.errors:
+        # Present only on partial results, so complete runs keep their
+        # historical document shape byte-for-byte.
+        document["complete"] = False
+        document["errors"] = [failure.as_dict() for failure in result.errors]
     return document
 
 
@@ -103,6 +108,8 @@ def render_markdown(result: VerificationResult, title: Optional[str] = None) -> 
     lines.append(f"# {title or 'Verification report'}")
     lines.append("")
     verdict = "**HOLDS**" if result.holds else f"**VIOLATED** ({len(result.violations)} violation(s))"
+    if result.errors:
+        verdict += f" — **PARTIAL** ({len(result.errors)} task(s) failed)"
     lines.append(f"Policies `{', '.join(result.policy_names)}`: {verdict}")
     lines.append("")
 
@@ -145,7 +152,31 @@ def render_markdown(result: VerificationResult, title: Optional[str] = None) -> 
     else:
         lines.append("No violations were found in any explored converged state.")
         lines.append("")
+    _append_task_failures(lines, result.errors)
     return "\n".join(lines)
+
+
+def _append_task_failures(lines: List[str], errors) -> None:
+    """The shared "Task failures" Markdown section of partial results."""
+    if not errors:
+        return
+    lines.append("## Task failures")
+    lines.append("")
+    lines.append(
+        "The verdict above covers only the tasks that completed; the "
+        "following tasks exhausted their retries and produced no result."
+    )
+    lines.append("")
+    lines.append("| task | kind | PEC | failures | error | attempts |")
+    lines.append("|---|---|---|---|---|---|")
+    for failure in errors:
+        message = failure.message.replace("|", "\\|").replace("\n", " ")
+        lines.append(
+            f"| {failure.task_id} | {failure.task_kind} | {failure.pec_index} | "
+            f"{failure.failure_description} | {failure.kind}: {message} | "
+            f"{failure.attempts} |"
+        )
+    lines.append("")
 
 
 # --------------------------------------------------------------------------- transient reports
@@ -195,6 +226,10 @@ def transient_campaign_to_dict(campaign) -> Dict[str, object]:
     incremental = getattr(campaign, "incremental", None)
     if incremental is not None:
         document["incremental"] = incremental.as_dict()
+    errors = getattr(campaign, "errors", [])
+    if errors:
+        document["complete"] = False
+        document["errors"] = [failure.as_dict() for failure in errors]
     return document
 
 
@@ -213,6 +248,9 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
         if campaign.holds
         else f"**VIOLATED** ({len(campaign.violations)} violation(s))"
     )
+    campaign_errors = getattr(campaign, "errors", [])
+    if campaign_errors:
+        verdict += f" — **PARTIAL** ({len(campaign_errors)} task(s) failed)"
     lines.append(f"Transient properties: {verdict}")
     lines.append(f"Failure scenarios: {campaign.failure_scenarios}")
     incremental = getattr(campaign, "incremental", None)
@@ -255,6 +293,7 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
     else:
         lines.append("No transient violations were found in any explored state.")
         lines.append("")
+    _append_task_failures(lines, campaign_errors)
     return "\n".join(lines)
 
 

@@ -151,6 +151,14 @@ class TransientOptions:
     frontier: str = "fifo"
     minimize_witnesses: bool = False
     rank_immunity: bool = True
+    #: Per-task supervision knobs for campaign runs (see
+    #: :attr:`~repro.core.options.PlanktonOptions.task_timeout` /
+    #: ``task_retries``).  ``None`` inherits the campaign's
+    #: :class:`~repro.core.options.PlanktonOptions` values; like those, they
+    #: shape *how* results are computed, never *what* they contain, so the
+    #: incremental cache excludes them from transient fingerprints.
+    task_timeout: Optional[float] = None
+    task_retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.por not in POR_MODES:
@@ -159,6 +167,8 @@ class TransientOptions:
             raise ValueError(
                 f"unknown frontier mode {self.frontier!r}; choose from {FRONTIER_MODES}"
             )
+        if self.task_retries is not None and self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
 
 
 # --------------------------------------------------------------------------- initial events
@@ -781,6 +791,14 @@ class TransientCampaignResult:
     #: Cache accounting when the campaign ran through the incremental
     #: service (:class:`repro.incremental.service.IncrementalRunStats`).
     incremental: Optional[object] = None
+    #: Tasks that exhausted their retries (supervision layer): the campaign
+    #: degraded to an explicitly-partial result instead of raising.
+    errors: List = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every campaign task produced a result (no ``errors``)."""
+        return not self.errors
 
     @property
     def holds(self) -> bool:
@@ -805,6 +823,8 @@ class TransientCampaignResult:
         verdict = (
             "HOLDS" if self.holds else f"VIOLATED ({len(self.violations)} violation(s))"
         )
+        if self.errors:
+            verdict += f" [PARTIAL: {len(self.errors)} task(s) failed]"
         states = sum(run.result.states_explored for run in self.runs)
         truncated = sum(1 for run in self.runs if run.result.truncated)
         return (
@@ -826,6 +846,7 @@ class _TransientAggregator:
         self._graph = graph
         self._options = options
         self._runs_by_task: Dict[int, List[TransientCampaignRun]] = {}
+        self._failures: Dict[int, object] = {}  # task id -> TaskFailure
         self.stop_requested = False
 
     def record(self, result) -> None:
@@ -833,11 +854,20 @@ class _TransientAggregator:
         if result.has_violation and self._options.stop_at_first_violation:
             self.stop_requested = True
 
+    def record_failure(self, spec, error, attempts: int) -> None:
+        from repro.engine.supervision import task_failure_from
+
+        self._failures[spec.task_id] = task_failure_from(spec, error, attempts)
+
+    @property
+    def failed_tasks(self):
+        return set(self._failures)
+
     def upstream_planes(self, spec) -> Dict[int, List]:
         return {}
 
     def has_result(self, task_id: int) -> bool:
-        return task_id in self._runs_by_task
+        return task_id in self._runs_by_task or task_id in self._failures
 
     def finalize(self) -> TransientCampaignResult:
         campaign = TransientCampaignResult(
@@ -845,6 +875,9 @@ class _TransientAggregator:
         )
         for task in self._graph.tasks:
             campaign.runs.extend(self._runs_by_task.get(task.task_id, []))
+            failure = self._failures.get(task.task_id)
+            if failure is not None:
+                campaign.errors.append(failure)
         return campaign
 
 
@@ -962,7 +995,20 @@ def analyze_pec_transients_over_failures(
     )
     aggregator = _TransientAggregator(graph, options)
     backend = select_backend(options, graph)
-    backend.execute(graph, EngineContext(plankton=plankton, policies=[]), aggregator)
+    # Campaign-specific supervision knobs (a transient exploration's natural
+    # deadline differs from a converged-state check's) override the
+    # verifier's without rebuilding it.
+    supervision = {}
+    if transient.task_timeout is not None:
+        supervision["task_timeout"] = transient.task_timeout
+    if transient.task_retries is not None:
+        supervision["task_retries"] = transient.task_retries
+    context = EngineContext(
+        plankton=plankton,
+        policies=[],
+        options_override=dataclasses.replace(options, **supervision) if supervision else None,
+    )
+    backend.execute(graph, context, aggregator)
     campaign = aggregator.finalize()
     campaign.elapsed_seconds = time.perf_counter() - started
     return campaign

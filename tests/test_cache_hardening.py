@@ -1,0 +1,166 @@
+"""Cache-file hardening: corruption, version skew, locking, logged cold starts.
+
+The persistent result cache is an availability feature, never a correctness
+dependency: any damaged, stale or foreign cache file must load as *empty*
+(a universal cache miss) with a logged warning, and a warm restart over a
+damaged file must reproduce the cold verification result exactly.  The
+corruption here comes from :func:`repro.engine.faults.corrupt_cache_file` —
+the same seeded harness the engine fault tests use.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.config import ebgp_rfc7938
+from repro.core.options import PlanktonOptions
+from repro.engine.faults import corrupt_cache_file
+from repro.incremental import IncrementalVerifier, ResultCache, result_signature
+from repro.incremental.cache import CACHE_SCHEMA_VERSION
+from repro.policies import LoopFreedom
+from repro.topology import bgp_fat_tree
+
+
+def _network():
+    return ebgp_rfc7938(bgp_fat_tree(2))
+
+
+def _warm_cache(tmp_path):
+    """Run one cold verify with a disk-backed cache; returns (file path,
+    entry count, result signature) — the oracle a restart is held to."""
+    service = IncrementalVerifier(_network(), PlanktonOptions(), cache_dir=tmp_path)
+    result = service.verify(LoopFreedom())
+    cache_file = service.cache.path
+    assert cache_file is not None and cache_file.exists()
+    assert len(service.cache) > 0
+    return cache_file, len(service.cache), result_signature(result)
+
+
+def _reload(cache_file):
+    cache = ResultCache()
+    count = cache.load(cache_file)
+    assert count == len(cache)
+    return cache
+
+
+class TestCorruptionDetection:
+    def test_clean_round_trip_restores_every_entry(self, tmp_path):
+        cache_file, entry_count, _ = _warm_cache(tmp_path)
+        assert len(_reload(cache_file)) == entry_count
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bit_flip_loads_empty_with_warning(self, tmp_path, caplog, seed):
+        cache_file, _, _ = _warm_cache(tmp_path)
+        corrupt_cache_file(cache_file, seed=seed, mode="bitflip")
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("starting cold" in record.message for record in caplog.records)
+
+    def test_checksum_warning_names_both_digests(self, tmp_path, caplog):
+        """A flip that keeps the JSON parsable is caught by the checksum,
+        and the warning shows stored-vs-computed so an operator can tell
+        corruption from version skew at a glance."""
+        cache_file, _, _ = _warm_cache(tmp_path)
+        document = json.loads(cache_file.read_text())
+        document["checksum"] = "0" * 64
+        cache_file.write_text(json.dumps(document))
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("checksum" in record.message for record in caplog.records)
+
+    def test_truncation_loads_empty_with_warning(self, tmp_path, caplog):
+        cache_file, _, _ = _warm_cache(tmp_path)
+        corrupt_cache_file(cache_file, mode="truncate")
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("unreadable" in record.message for record in caplog.records)
+
+    def test_future_schema_version_loads_empty_with_warning(self, tmp_path, caplog):
+        cache_file, _, _ = _warm_cache(tmp_path)
+        document = json.loads(cache_file.read_text())
+        document["schema_version"] = CACHE_SCHEMA_VERSION + 1
+        cache_file.write_text(json.dumps(document))
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("schema version" in record.message for record in caplog.records)
+
+    def test_pre_versioning_legacy_file_loads_empty(self, tmp_path, caplog):
+        """A v1-era file (bare entries dict, no header) must not be
+        misread as entries; it cold-starts like any other foreign file."""
+        cache_file = tmp_path / "plankton_cache.json"
+        cache_file.write_text(json.dumps({"somefingerprint": {"runs": []}}))
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("schema version" in record.message for record in caplog.records)
+
+    def test_malformed_entries_section_loads_empty(self, tmp_path, caplog):
+        cache_file = tmp_path / "plankton_cache.json"
+        cache_file.write_text(
+            json.dumps({"schema_version": CACHE_SCHEMA_VERSION, "checksum": "x", "entries": [1, 2]})
+        )
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cache = _reload(cache_file)
+        assert len(cache) == 0
+        assert any("malformed" in record.message for record in caplog.records)
+
+
+class TestRecoveryEndToEnd:
+    @pytest.mark.parametrize("mode", ["bitflip", "truncate"])
+    def test_warm_restart_over_damaged_file_reproduces_cold_result(self, tmp_path, mode):
+        """The availability property: a damaged cache degrades a restart to
+        a cold run — identical verdict and counters — and the fresh run
+        rewrites a loadable file."""
+        cache_file, _, oracle = _warm_cache(tmp_path)
+        corrupt_cache_file(cache_file, seed=3, mode=mode)
+        service = IncrementalVerifier(_network(), PlanktonOptions(), cache_dir=tmp_path)
+        assert len(service.cache) == 0  # cold-started, not misread
+        result = service.verify(LoopFreedom())
+        assert result_signature(result) == oracle
+        assert result.incremental is not None
+        assert result.incremental.pecs_from_cache == 0
+        assert len(_reload(cache_file)) > 0  # the save healed the file
+
+    def test_undamaged_restart_still_serves_from_cache(self, tmp_path):
+        """Guard for the guard: hardening must not break the warm path."""
+        _, _, oracle = _warm_cache(tmp_path)
+        service = IncrementalVerifier(_network(), PlanktonOptions(), cache_dir=tmp_path)
+        assert len(service.cache) > 0
+        result = service.verify(LoopFreedom())
+        assert result_signature(result) == oracle
+        assert result.incremental.pecs_recomputed == 0
+
+
+class TestConcurrentWriters:
+    def test_two_processes_saving_leave_a_loadable_file(self, tmp_path):
+        """Many writers, one file: whatever save wins the last rename, the
+        file must parse, checksum and load — never a torn interleaving."""
+        cache_file = tmp_path / "plankton_cache.json"
+        processes = [
+            multiprocessing.Process(
+                target=_hammer_save, args=(str(cache_file), worker)
+            )
+            for worker in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        cache = _reload(cache_file)
+        assert len(cache) == 50  # every writer stores the same 50 keys
+        document = json.loads(cache_file.read_text())
+        assert document["schema_version"] == CACHE_SCHEMA_VERSION
+
+
+def _hammer_save(path, worker):
+    cache = ResultCache()
+    for index in range(50):
+        cache.store(f"fingerprint-{index}", {"worker": worker, "index": index})
+    for _ in range(20):
+        cache.save(path)

@@ -27,7 +27,10 @@ bit-identical to the deepcopy baseline in ``por="full"`` mode) and the
 and rank immunity a further >=2x fewer, at identical verdicts on a smaller
 slice of the same workload).  The throughput rows live in
 ``test_bench_transient_json`` / ``test_bench_transient_por_json`` /
-``test_bench_transient_rankpor_json``, which the gating matrix deselects the
+``test_bench_transient_rankpor_json`` /
+``test_bench_transient_scenarios_json`` (the lifecycle-scenario enumerator's
+symmetry reduction and the cost of exploring the reduced k=1 campaign,
+``transient_fig7a_k4_scenarios`` row), which the gating matrix deselects the
 same way it deselects the explorer throughput row; the non-gating CI bench
 job runs them and merges the rows into ``BENCH_explorer.json`` via
 ``benchmarks/conftest.py::merge_bench_rows``.
@@ -221,6 +224,115 @@ def test_bench_transient_por_json(reporter, bench_json):
     )
     # The acceptance floor for the reduction; actual margin is ~8x.
     assert ratio >= 5.0
+
+
+def _fig7a_network_and_pec():
+    network = ebgp_rfc7938(bgp_fat_tree(4))
+    pec = next(pec for pec in compute_pecs(network) if pec.has_bgp())
+    return network, pec
+
+
+def test_scenario_enumeration_reduction_floor(reporter):
+    """Gating: the symmetry/LEC-reduced lifecycle-scenario enumeration emits
+    at most half the brute-force scenario universe on the fig7a workload
+    (verdict preservation is pinned separately by the brute-force oracle in
+    ``tests/test_scenarios.py``)."""
+    from repro.engine.graph import event_scenarios_for_pec
+    from repro.scenarios import ScenarioLedger
+    from repro.transient import TransientOptions
+
+    network, pec = _fig7a_network_and_pec()
+    ledger = ScenarioLedger()
+    scenarios = event_scenarios_for_pec(
+        network, pec, TransientOptions(scenario_events=1), ledger=ledger
+    )
+    assert scenarios and ledger.pruned > 0
+    ratio = ledger.brute / max(ledger.emitted, 1)
+    reporter(
+        "transient",
+        f"scenarios: {ledger.emitted} emitted vs {ledger.brute} brute "
+        f"({ratio:.1f}x) for k=1 lifecycle events on the fat-tree k=4 fabric",
+    )
+    assert ratio >= 2.0
+
+
+def test_bench_transient_scenarios_json(reporter, bench_json):
+    """Emit the lifecycle-scenario campaign row (non-gating bench job).
+
+    Measures the scenario enumerator's symmetry/LEC reduction on the fig7a
+    fabric (k=1 over the full event vocabulary, k=2 over crash/drain) and
+    the cost of actually exploring the reduced k=1 campaign with the ample
+    reduction over the depth-6 slice.
+    """
+    from repro.engine.graph import event_scenarios_for_pec
+    from repro.scenarios import ScenarioLedger, brute_event_scenarios
+    from repro.transient import TransientOptions
+
+    network, pec = _fig7a_network_and_pec()
+    instance = _fig7a_style_instance()
+
+    k1_ledger = ScenarioLedger()
+    k1 = event_scenarios_for_pec(
+        network, pec, TransientOptions(scenario_events=1), ledger=k1_ledger
+    )
+    k1_ratio = k1_ledger.brute / max(k1_ledger.emitted, 1)
+
+    k2_ledger = ScenarioLedger()
+    event_scenarios_for_pec(
+        network,
+        pec,
+        TransientOptions(scenario_events=2, scenario_kinds=("crash", "drain")),
+        ledger=k2_ledger,
+    )
+    k2_ratio = k2_ledger.brute / max(k2_ledger.emitted, 1)
+    assert k2_ledger.brute == len(
+        brute_event_scenarios(network.topology, 2, ("crash", "drain"))
+    )
+
+    states = violations = 0
+    elapsed = 0.0
+    for scenario in k1:
+        result = TransientAnalyzer(
+            instance,
+            max_states=500_000,
+            max_depth=6,
+            stop_at_first_violation=False,
+            por="ample",
+        ).analyze(
+            [TransientLoopFreedom(ignore_converged=True)], initial_events=[scenario]
+        )
+        assert not result.truncated
+        states += result.states_explored
+        violations += len(result.violations)
+        elapsed += result.elapsed_seconds
+
+    row = {
+        "workload": (
+            "lifecycle scenario campaign, fat-tree k=4 eBGP instance "
+            "(20 devices), loop property, k=1 event scenarios explored with "
+            "por=ample over the depth-6 slice"
+        ),
+        "universe": k1_ledger.universe,
+        "brute_scenarios": k1_ledger.brute,
+        "emitted_scenarios": k1_ledger.emitted,
+        "scenario_reduction_ratio": round(k1_ratio, 1),
+        "k2_crash_drain_brute": k2_ledger.brute,
+        "k2_crash_drain_emitted": k2_ledger.emitted,
+        "k2_crash_drain_reduction_ratio": round(k2_ratio, 1),
+        "states_explored_total": states,
+        "violations": violations,
+        "elapsed_seconds": round(elapsed, 4),
+    }
+    bench_json({"transient_fig7a_k4_scenarios": row})
+    reporter(
+        "bench",
+        f"transient_fig7a_k4_scenarios: {k1_ledger.emitted} of "
+        f"{k1_ledger.brute} brute k=1 scenarios explored "
+        f"({k1_ratio:.1f}x reduction; k=2 crash/drain {k2_ratio:.1f}x), "
+        f"{states} states total, {violations} violation(s)",
+    )
+    # The acceptance floor for the scenario reduction on this fabric.
+    assert k1_ratio >= 2.0 and k2_ratio >= 2.0
 
 
 def test_bench_transient_rankpor_json(reporter, bench_json):

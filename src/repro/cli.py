@@ -354,6 +354,71 @@ def _cmd_diff_verify(args: argparse.Namespace) -> int:
     return _verify_exit_code(new_result)
 
 
+def _parse_scenario(spec: str, network):
+    """Parse one ``--scenario`` value into a lifecycle :class:`Scenario`.
+
+    A spec is ``+``-separated event parts, each ``KIND:ARGS``: ``crash:NODE``,
+    ``restart:NODE``, ``drain:NODE``, ``return:NODE``, ``maintenance:NODE``
+    (drain, settle, return), ``flap:A,B``, ``gray:EXPORTER,IMPORTER``.  The
+    scenario converges first, then stages the events in order.
+    """
+    from repro.scenarios import (
+        Converge,
+        FlapStorm,
+        GrayFailure,
+        MaintenanceDrain,
+        NodeCrash,
+        NodeRestart,
+        ReturnToService,
+        Scenario,
+    )
+
+    node_events = {
+        "crash": NodeCrash,
+        "restart": NodeRestart,
+        "drain": MaintenanceDrain,
+        "return": ReturnToService,
+    }
+    events = []
+    for part in (piece.strip() for piece in spec.split("+")):
+        kind, sep, rest = part.partition(":")
+        kind = kind.strip()
+        rest = rest.strip()
+        if not sep or not rest:
+            raise CliError(
+                f"malformed --scenario part {part!r}; expected KIND:ARGS "
+                "(e.g. crash:node or gray:a,b)"
+            )
+        if kind in node_events or kind == "maintenance":
+            if rest not in network.topology:
+                raise CliError(f"unknown device {rest!r} in --scenario")
+            if kind == "maintenance":
+                events.extend(
+                    (MaintenanceDrain(rest), Converge(), ReturnToService(rest))
+                )
+            else:
+                events.append(node_events[kind](rest))
+        elif kind in ("flap", "gray"):
+            endpoints = _split_list(rest)
+            if len(endpoints) != 2:
+                raise CliError(
+                    f"--scenario {kind} expects two devices, e.g. {kind}:a,b"
+                )
+            for name in endpoints:
+                if name not in network.topology:
+                    raise CliError(f"unknown device {name!r} in --scenario")
+            if kind == "flap":
+                events.append(FlapStorm(sessions=((endpoints[0], endpoints[1]),)))
+            else:
+                events.append(GrayFailure(endpoints[0], endpoints[1]))
+        else:
+            raise CliError(
+                f"unknown --scenario kind {kind!r}; choose from crash, restart, "
+                "drain, return, maintenance, flap, gray"
+            )
+    return Scenario(events=(Converge(),) + tuple(events), name=spec)
+
+
 def _cmd_transient(args: argparse.Namespace) -> int:
     from repro.incremental import IncrementalVerifier
     from repro.transient import (
@@ -384,6 +449,10 @@ def _cmd_transient(args: argparse.Namespace) -> int:
                 raise CliError(f"unknown device {name!r} in --fail-session")
         initial_events = [Converge(), FailSession(endpoints[0], endpoints[1])]
 
+    scenarios = None
+    if args.scenario:
+        scenarios = [_parse_scenario(spec, network) for spec in args.scenario]
+
     destination = _parse_destination_prefix(args.destination_prefix)
     stop_at_first = not args.all_violations
     options = PlanktonOptions(
@@ -394,15 +463,20 @@ def _cmd_transient(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
     )
-    transient_options = TransientOptions(
-        max_states=args.max_states,
-        max_depth=args.max_depth,
-        stop_at_first_violation=stop_at_first,
-        por=args.por,
-        frontier=args.frontier,
-        minimize_witnesses=args.minimize_witness,
-        rank_immunity=not args.no_rank_immunity,
-    )
+    try:
+        transient_options = TransientOptions(
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            stop_at_first_violation=stop_at_first,
+            por=args.por,
+            frontier=args.frontier,
+            minimize_witnesses=args.minimize_witness,
+            rank_immunity=not args.no_rank_immunity,
+            scenario_events=args.scenario_events,
+            scenario_kinds=tuple(_split_list(args.scenario_kinds)),
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
 
     service = IncrementalVerifier(
         network, options, cache_dir=getattr(args, "cache_dir", None) or None
@@ -417,6 +491,7 @@ def _cmd_transient(args: argparse.Namespace) -> int:
             [prop],
             transient=transient_options,
             initial_events=initial_events,
+            scenarios=scenarios,
             pecs=pecs,
         )
     else:
@@ -756,6 +831,32 @@ def build_parser() -> argparse.ArgumentParser:
     transient.add_argument(
         "--fail-session",
         help="converge, then flap the session between these two devices (A,B)",
+    )
+    transient.add_argument(
+        "--scenario",
+        action="append",
+        help=(
+            "lifecycle scenario to cross with every failure scenario; "
+            "KIND:ARGS parts joined with + (crash:NODE, restart:NODE, "
+            "drain:NODE, return:NODE, maintenance:NODE, flap:A,B, gray:A,B); "
+            "repeatable, one campaign scenario per flag"
+        ),
+    )
+    transient.add_argument(
+        "--scenario-events",
+        type=int,
+        default=0,
+        help=(
+            "enumerate all symmetry-reduced lifecycle scenarios of up to K "
+            "events and cross them with every failure scenario (default: 0)"
+        ),
+    )
+    transient.add_argument(
+        "--scenario-kinds",
+        help=(
+            "restrict --scenario-events to these event kinds "
+            "(comma-separated: crash, restart, drain, maintenance, flap, gray)"
+        ),
     )
     _add_engine_arguments(transient)
     transient.set_defaults(handler=_cmd_transient)

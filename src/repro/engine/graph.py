@@ -137,6 +137,10 @@ class TaskGraph:
     #: scenario count in the independent case, total enumeration otherwise —
     #: matching the pre-engine verifier's reporting).
     failure_scenarios: int = 0
+    #: Lifecycle event scenarios crossed into a transient campaign graph
+    #: (0 = no event-scenario cross-product; see
+    #: :func:`build_transient_task_graph`).
+    event_scenarios: int = 0
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -174,7 +178,10 @@ class TaskGraph:
         import dataclasses
 
         keep = set(keep)
-        subgraph = TaskGraph(failure_scenarios=self.failure_scenarios)
+        subgraph = TaskGraph(
+            failure_scenarios=self.failure_scenarios,
+            event_scenarios=self.event_scenarios,
+        )
         id_map: Dict[int, int] = {}
         for task in self.tasks:
             if task.task_id not in keep:
@@ -327,12 +334,51 @@ def _expand_dependent(
 
 
 # --------------------------------------------------------------------------- transient campaigns
+def event_scenarios_for_pec(
+    network,
+    pec: PacketEquivalenceClass,
+    transient_options,
+    ledger=None,
+) -> List[object]:
+    """Lifecycle event scenarios for one PEC's transient campaign.
+
+    The device analogue of :func:`failure_scenarios_for_pec`: enumerate
+    k-event lifecycle scenarios (``transient_options.scenario_events``) with
+    DEC/LEC symmetry reduction, colouring devices by the same per-PEC origin
+    roles the link reduction uses so configuration asymmetry visible to this
+    PEC splits equivalence classes.  ``ledger`` (a
+    :class:`repro.scenarios.ScenarioLedger`) receives the reduction counts.
+    """
+    from repro.scenarios.enumerator import (
+        DEFAULT_EVENT_KINDS,
+        enumerate_event_scenarios,
+    )
+
+    if transient_options.scenario_events <= 0:
+        return []
+    colors: Dict[str, object] = {}
+    for name in network.topology.nodes:
+        colors[name] = (
+            tuple(sorted(str(p) for p, devs in pec.ospf_origins if name in devs)),
+            tuple(sorted(str(p) for p, devs in pec.bgp_origins if name in devs)),
+            tuple(sorted(str(p) for p, devs in pec.static_devices if name in devs)),
+        )
+    return enumerate_event_scenarios(
+        network.topology,
+        transient_options.scenario_events,
+        kinds=transient_options.scenario_kinds or DEFAULT_EVENT_KINDS,
+        colors=colors,
+        ledger=ledger,
+    )
+
+
 def build_transient_task_graph(
     network,
     pec: PacketEquivalenceClass,
     options: PlanktonOptions,
     transient,
     failures: Optional[Sequence[FailureScenario]] = None,
+    scenarios: Optional[Sequence[object]] = None,
 ) -> TaskGraph:
     """Expand a transient campaign into one task per (PEC, failure scenario).
 
@@ -343,22 +389,48 @@ def build_transient_task_graph(
     Transient tasks are edge-free (an SPVP exploration consumes no upstream
     data planes), so every backend runs them fully concurrently with
     cross-worker early cancellation.
+
+    ``scenarios`` (lifecycle event scenarios — :class:`repro.scenarios.
+    Scenario` values) crosses the failure scenarios: one task per
+    (failure, scenario) pair, each task's payload carrying the scenario's
+    events appended to the base ``initial_events`` plus its description for
+    run labelling.  When ``scenarios`` is None and
+    ``transient.options.scenario_events > 0`` the scenario list is derived
+    with :func:`event_scenarios_for_pec` (deterministic, so warm-cache
+    re-verification re-derives the identical task list).
     """
+    import dataclasses
+
     graph = TaskGraph()
-    scenarios = (
+    failure_list = (
         list(failures)
         if failures is not None
         else failure_scenarios_for_pec(network, pec, (), options)
     )
-    graph.failure_scenarios = len(scenarios)
-    for failure in scenarios:
-        graph.tasks.append(
-            TaskSpec(
-                task_id=len(graph.tasks),
-                pec_index=pec.index,
-                failure=failure,
-                kind="transient",
-                transient=transient,
+    graph.failure_scenarios = len(failure_list)
+    if scenarios is None and getattr(transient.options, "scenario_events", 0) > 0:
+        scenarios = event_scenarios_for_pec(network, pec, transient.options)
+    if scenarios:
+        graph.event_scenarios = len(scenarios)
+        payloads = [
+            dataclasses.replace(
+                transient,
+                initial_events=transient.initial_events + tuple(scenario.events),
+                scenario=scenario.describe(),
             )
-        )
+            for scenario in scenarios
+        ]
+    else:
+        payloads = [transient]
+    for failure in failure_list:
+        for payload in payloads:
+            graph.tasks.append(
+                TaskSpec(
+                    task_id=len(graph.tasks),
+                    pec_index=pec.index,
+                    failure=failure,
+                    kind="transient",
+                    transient=payload,
+                )
+            )
     return graph

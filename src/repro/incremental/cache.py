@@ -70,8 +70,10 @@ from repro.topology.failures import FailureScenario
 #: Bump when the entry schema or the fingerprint inputs change shape; old
 #: cache files are discarded wholesale rather than misread.  v2 added the
 #: payload checksum (v1 files start cold — their fingerprints predate the
-#: supervision-era option fields anyway).
-CACHE_SCHEMA_VERSION = 2
+#: supervision-era option fields anyway).  v3 added lifecycle scenarios to
+#: transient runs and the (failure, scenario) pairs to the campaign task
+#: shape, so v2 transient entries would be misattributed.
+CACHE_SCHEMA_VERSION = 3
 
 PathLike = Union[str, Path]
 
@@ -501,12 +503,15 @@ def decode_transient_result(payload: Dict):
 
 def encode_transient_run(run) -> Dict:
     """Encode a :class:`~repro.transient.explorer.TransientCampaignRun`."""
-    return {
+    encoded = {
         "pec_index": run.pec_index,
         "failure": encode_failure(run.failure),
         "prefix": run.prefix,
         "result": encode_transient_result(run.result),
     }
+    if run.scenario is not None:
+        encoded["scenario"] = run.scenario
+    return encoded
 
 
 def decode_transient_run(payload: Dict):
@@ -517,6 +522,7 @@ def decode_transient_run(payload: Dict):
         failure=decode_failure(payload["failure"]),
         prefix=payload["prefix"],
         result=decode_transient_result(payload["result"]),
+        scenario=payload.get("scenario"),
     )
 
 

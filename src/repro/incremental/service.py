@@ -582,6 +582,7 @@ class IncrementalVerifier:
         transient=None,
         failures=None,
         initial_events: Sequence[object] = (),
+        scenarios: Optional[Sequence[object]] = None,
         pecs: Optional[Sequence[PacketEquivalenceClass]] = None,
     ):
         """Run (or re-run) transient campaigns for every BGP-bearing PEC.
@@ -591,8 +592,20 @@ class IncrementalVerifier:
         :func:`repro.transient.explorer.analyze_pec_transients_over_failures`
         would run them.  Results with ``collect_converged=True`` carry
         non-JSON state and are never cached.
+
+        ``scenarios`` (lifecycle event scenarios, :class:`repro.scenarios.
+        Scenario` values) crosses the failure scenarios per task; when
+        omitted and ``transient.scenario_events > 0`` the scenario list is
+        derived per PEC with the symmetry-reduced k-event enumerator.  The
+        campaign fingerprint covers each task's (failure, scenario
+        description) pair, so campaigns differing only in their scenarios
+        never collide on a warm cache — "what breaks during next week's
+        maintenance?" is one warm query.
         """
-        from repro.engine.graph import build_transient_task_graph
+        from repro.engine.graph import (
+            build_transient_task_graph,
+            event_scenarios_for_pec,
+        )
         from repro.transient.explorer import (
             TransientCampaignResult,
             TransientOptions,
@@ -629,17 +642,36 @@ class IncrementalVerifier:
         )
         target = [pec for pec in (pecs if pecs is not None else plankton.pecs) if pec.has_bgp()]
         for pec in target:
+            pec_scenarios = (
+                list(scenarios)
+                if scenarios is not None
+                else event_scenarios_for_pec(
+                    plankton.network, plankton.pec_by_index(pec.index), transient
+                )
+                or None
+            )
             graph = build_transient_task_graph(
                 plankton.network,
                 plankton.pec_by_index(pec.index),
                 options,
                 config,
                 failures=failures,
+                scenarios=pec_scenarios,
             )
             campaign.failure_scenarios = max(
                 campaign.failure_scenarios, graph.failure_scenarios
             )
-            shape = tuple(tuple(task.failure.failed_links) for task in graph.tasks)
+            campaign.event_scenarios = max(
+                campaign.event_scenarios, graph.event_scenarios
+            )
+            # The cached-entry key must distinguish *both* axes of the task
+            # cross-product: failure links AND the lifecycle scenario baked
+            # into each task's payload (two campaigns over the same failures
+            # but different scenarios previously collided on a warm cache).
+            shape = tuple(
+                (tuple(task.failure.failed_links), task.transient.scenario or "")
+                for task in graph.tasks
+            )
             fingerprint = transient_fingerprint(base[pec.index], config, options, shape)
             stats.pecs_total += 1
             stats.tasks_total += len(graph.tasks)
@@ -651,16 +683,26 @@ class IncrementalVerifier:
                 stats.pecs_from_cache += 1
                 stats.tasks_from_cache += len(graph.tasks)
             else:
+                # The failure scenarios were already enumerated (and
+                # LEC-reduced) for the fingerprint's task shape; reuse them —
+                # deduplicated back to the failure axis, since graph.tasks is
+                # the (failure x scenario) cross-product — instead of
+                # re-deriving the graph inside the campaign runner.
+                unique_failures: List = []
+                seen_failures = set()
+                for task in graph.tasks:
+                    key = tuple(task.failure.failed_links)
+                    if key not in seen_failures:
+                        seen_failures.add(key)
+                        unique_failures.append(task.failure)
                 sub = analyze_pec_transients_over_failures(
                     plankton.network,
                     pec,
                     properties,
                     transient=transient,
-                    # The scenarios were already enumerated (and LEC-reduced)
-                    # for the fingerprint's task shape; reuse them instead of
-                    # re-deriving the graph inside the campaign runner.
-                    failures=[task.failure for task in graph.tasks],
+                    failures=unique_failures,
                     initial_events=initial_events,
+                    scenarios=pec_scenarios,
                     plankton=run_plankton,
                 )
                 runs = sub.runs

@@ -94,20 +94,43 @@ class AmpleSelector:
         self.independence = independence or ChannelIndependence(instance)
         self.rank_immunity = rank_immunity
         self.reduction = reduction
-        #: Nodes whose best path provably never changes, no matter what is
-        #: delivered.  Every advertised path ends at an origin, so with a
-        #: single origin every advertisement reaching it is loop-rejected
-        #: (the stepper's ``path.contains(receiver)`` check) — its best stays
-        #: the origin route forever.  Such nodes never re-advertise, so the
-        #: activity closure neither seeds at them nor propagates into them.
+        #: With a single origin, every advertisement reaching it is
+        #: loop-rejected (the stepper's ``path.contains(receiver)`` check), so
+        #: *while its best is its own origin route* that best can never change
+        #: and it never re-advertises: the activity closure neither seeds at
+        #: it nor propagates into it.  The condition is forward-invariant but
+        #: NOT unconditional — a lifecycle event (node crash) can leave the
+        #: origin with ``best = None``, and then any delivery to it resurrects
+        #: the origin route and triggers a re-advertisement — so freezing is
+        #: decided per state in :meth:`frozen_nodes_of`, not at construction.
         origins = tuple(instance.origins())
-        self.frozen_nodes = frozenset(origins) if len(origins) == 1 else frozenset()
+        self._solo_origin = origins[0] if len(origins) == 1 else None
+        self._solo_origin_rid: Optional[int] = None
         #: (receiver, sender) -> static rank bound (memoised; None = unknown).
         self._session_bounds: Dict[Tuple[str, str], Optional[Tuple]] = {}
         #: (receiver, sender, best route id) -> immunity verdict.  Keyed on
         #: the intern id of the receiver's best route, so across the search
         #: the rank comparison runs once per distinct (session, best) pair.
         self._immune_memo: Dict[Tuple[str, str, int], bool] = {}
+
+    # ------------------------------------------------------------------ frozen nodes
+    def frozen_nodes_of(self, state: SpvpState) -> frozenset:
+        """Nodes whose best path provably never changes from ``state`` on.
+
+        Only the solo origin qualifies, and only while it currently holds its
+        own origin route: from such a state every future import into it is
+        loop-rejected, so its best is fixed and it never re-advertises.
+        """
+        origin = self._solo_origin
+        if origin is None:
+            return frozenset()
+        rid = self._solo_origin_rid
+        if rid is None:
+            rid = self.space.table.route_id(self.instance.origin_route(origin))
+            self._solo_origin_rid = rid
+        if state._ids[self.space.best_slot[origin]] == rid:
+            return frozenset((origin,))
+        return frozenset()
 
     # ------------------------------------------------------------------ rank immunity
     def _session_bound(self, receiver: str, sender: str) -> Optional[Tuple]:
@@ -163,6 +186,11 @@ class AmpleSelector:
         if imported is not None and imported.path.contains(receiver):
             imported = None
         if best is None:
+            if receiver in self.space.origin_set:
+                # A routeless origin (post-crash) re-selects its origin route
+                # on *any* delivery — even a loop-rejected one — because the
+                # selection rule always includes the local origin candidate.
+                return True
             # A routeless receiver acquires a best path from any accepted route.
             return imported is not None
         if imported == best:
@@ -182,7 +210,7 @@ class AmpleSelector:
         Seeds: receivers with a dangerous queued message.  Closure: an active
         node may re-advertise, so everything it can message is active too.
         """
-        frozen = self.frozen_nodes
+        frozen = self.frozen_nodes_of(state)
         dangerous: Set[str] = set()
         best_cache: Dict[str, object] = {}
         for sender, receiver in pending:

@@ -37,7 +37,7 @@ import random
 from array import array
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.protocols.base import EPSILON, Path, PathVectorInstance, Route
@@ -449,6 +449,18 @@ class SpvpStepper:
         self.instance = instance
         self.space = _space_for(instance)
         self.table = self.space.table
+        # Lifecycle overlays (scenario events, src/repro/scenarios/).  These
+        # live on the stepper, not the state: events are applied once, to the
+        # root of an exploration, so every state expanded by this stepper is
+        # governed by the same overlay — exactly as the naive oracle's
+        # per-simulator sets survive its deepcopy-per-successor.
+        #: Drained nodes: keep their RIB and answer nothing — a quiesced node
+        #: never re-advertises a changed best path.
+        self.quiesced: Set[str] = set()
+        #: Gray-failed directed sessions: route UPDATEs out of ``(a, b)`` are
+        #: silently dropped at send time.  Transport-level session teardown
+        #: (``fail_session``, ``crash_node``) still passes.
+        self.suppressed: Set[Channel] = set()
         # Id-keyed memos over the space's intern table.  SPVP explores a very
         # large number of interleavings of a small set of distinct routes, so
         # after warm-up a delivery is dict lookups on small-int keys end to
@@ -573,11 +585,16 @@ class SpvpStepper:
         pending = state.pending
         if not remaining_qid:
             pending = pending - {channel}
-        if table.path_id(current_rid) != table.path_id(new_best_rid):
+        if (
+            table.path_id(current_rid) != table.path_id(new_best_rid)
+            and receiver not in self.quiesced
+        ):
             # The receiver re-advertises its (possibly withdrawn) best path.
             added: List[Channel] = []
             export_ids = self._export_ids
             for peer, out_channel, out_slot in space.out_slots_of[receiver]:
+                if out_channel in self.suppressed:
+                    continue
                 advertisement_rid = export_ids.get((out_slot, new_best_rid))
                 if advertisement_rid is None:
                     advertisement_rid = table.route_id(
@@ -670,6 +687,138 @@ class SpvpStepper:
             added.append(channel)
         return state._derive(updates, state.pending | frozenset(added), None)
 
+    # ------------------------------------------------------------------ lifecycle
+    def crash_node(self, state: SpvpState, node: str) -> SpvpState:
+        """``node`` crashes: its RIB is lost, every adjacent session drops.
+
+        SPVP has no down-state, so a crash is modeled as crash-recovery: the
+        node rejoins cold (``best = None``, empty rib-ins — even an origin,
+        which lazily re-selects its origin route on the next delivery to it),
+        in-flight messages towards it are lost, and each peer sees a
+        transport-level ⊥ (delivered even on gray-failed sessions).
+        """
+        space = self.space
+        table = self.table
+        withdraw_qid = table.queue_id((0,))
+        updates: List[Tuple[int, int]] = [(space.best_slot[node], 0)]
+        added: List[Channel] = []
+        removed: List[Channel] = []
+        for _peer, slot in space.rib_slots_of[node]:
+            updates.append((slot, 0))
+        for peer, out_channel, out_slot in space.out_slots_of[node]:
+            updates.append((out_slot, withdraw_qid))
+            added.append(out_channel)
+            in_channel = (peer, node)
+            updates.append((space.channel_slot[in_channel], 0))
+            removed.append(in_channel)
+        pending = (state.pending - frozenset(removed)) | frozenset(added)
+        return state._derive(updates, pending, None)
+
+    def restart_node(self, state: SpvpState, node: str) -> SpvpState:
+        """``node`` boots: sessions bounce, then both sides re-advertise.
+
+        The restarting node comes up with only its locally-originated route
+        (if any) and advertises it; each peer answers session re-establishment
+        by re-sending its current best.  Gray-failed directions drop the route
+        updates but still carry the transport ⊥.
+        """
+        space = self.space
+        table = self.table
+        instance = self.instance
+        boot_rid = self._origin_id(node) if node in space.origin_set else 0
+        updates: List[Tuple[int, int]] = [(space.best_slot[node], boot_rid)]
+        added: List[Channel] = []
+        removed: List[Channel] = []
+        for _peer, slot in space.rib_slots_of[node]:
+            updates.append((slot, 0))
+        for peer, out_channel, out_slot in space.out_slots_of[node]:
+            out_queue: Tuple[int, ...] = (0,)
+            if boot_rid and out_channel not in self.suppressed:
+                out_queue += (
+                    table.route_id(
+                        instance.cached_export(node, peer, table.route(boot_rid))
+                    ),
+                )
+            updates.append((out_slot, table.queue_id(out_queue)))
+            added.append(out_channel)
+            in_channel = (peer, node)
+            in_slot = space.channel_slot[in_channel]
+            if in_channel in self.suppressed or peer in self.quiesced:
+                updates.append((in_slot, 0))
+                removed.append(in_channel)
+            else:
+                peer_best_rid = state._ids[space.best_slot[peer]]
+                updates.append(
+                    (
+                        in_slot,
+                        table.queue_id(
+                            (
+                                table.route_id(
+                                    instance.cached_export(
+                                        peer, node, table.route(peer_best_rid)
+                                    )
+                                ),
+                            )
+                        ),
+                    )
+                )
+                added.append(in_channel)
+        pending = (state.pending - frozenset(removed)) | frozenset(added)
+        return state._derive(updates, pending, None)
+
+    def quiesce_node(self, state: SpvpState, node: str) -> SpvpState:
+        """Maintenance drain: ``node`` gracefully withdraws and goes quiet.
+
+        The node keeps its RIB (it can still forward) but appends a ⊥ to every
+        outbound session and — via the ``quiesced`` overlay — stops
+        re-advertising best-path changes until :meth:`return_to_service`.
+        """
+        self.quiesced.add(node)
+        table = self.table
+        updates: List[Tuple[int, int]] = []
+        added: List[Channel] = []
+        for _peer, channel, slot in self.space.out_slots_of[node]:
+            if channel in self.suppressed:
+                continue
+            updates.append((slot, table.queue_id(table.queue(state._ids[slot]) + (0,))))
+            added.append(channel)
+        return state._derive(updates, state.pending | frozenset(added), None)
+
+    def return_to_service(self, state: SpvpState, node: str) -> SpvpState:
+        """End a maintenance drain: ``node`` re-advertises its current best."""
+        self.quiesced.discard(node)
+        space = self.space
+        table = self.table
+        best_rid = state._ids[space.best_slot[node]]
+        export_ids = self._export_ids
+        updates: List[Tuple[int, int]] = []
+        added: List[Channel] = []
+        for peer, channel, slot in space.out_slots_of[node]:
+            if channel in self.suppressed:
+                continue
+            advertisement_rid = export_ids.get((slot, best_rid))
+            if advertisement_rid is None:
+                advertisement_rid = table.route_id(
+                    self.instance.cached_export(node, peer, table.route(best_rid))
+                )
+                export_ids[(slot, best_rid)] = advertisement_rid
+            updates.append(
+                (slot, table.queue_id(table.queue(state._ids[slot]) + (advertisement_rid,)))
+            )
+            added.append(channel)
+        return state._derive(updates, state.pending | frozenset(added), None)
+
+    def suppress_session(self, state: SpvpState, exporter: str, importer: str) -> SpvpState:
+        """Gray failure: the ``exporter → importer`` direction silently drops
+        route updates from now on; queued updates are lost, and the importer's
+        rib-in stays stale — that silent staleness is the gray part."""
+        channel = (exporter, importer)
+        self.suppressed.add(channel)
+        slot = self.space.channel_slot.get(channel)
+        if slot is None:
+            return state
+        return state._derive([(slot, 0)], state.pending - {channel}, None)
+
 
 class SpvpSimulator:
     """An executable extended-SPVP instance over a :class:`PathVectorInstance`.
@@ -747,6 +896,27 @@ class SpvpSimulator:
         """Drop the buffers between ``a`` and ``b`` and deliver ⊥ to both peers."""
         self.state = self.stepper.fail_session(self.state, a, b)
 
+    # ------------------------------------------------------------------ lifecycle
+    def crash_node(self, node: str) -> None:
+        """Crash ``node`` (see :meth:`SpvpStepper.crash_node`)."""
+        self.state = self.stepper.crash_node(self.state, node)
+
+    def restart_node(self, node: str) -> None:
+        """Boot ``node`` (see :meth:`SpvpStepper.restart_node`)."""
+        self.state = self.stepper.restart_node(self.state, node)
+
+    def quiesce_node(self, node: str) -> None:
+        """Drain ``node`` for maintenance (see :meth:`SpvpStepper.quiesce_node`)."""
+        self.state = self.stepper.quiesce_node(self.state, node)
+
+    def return_to_service(self, node: str) -> None:
+        """End ``node``'s drain (see :meth:`SpvpStepper.return_to_service`)."""
+        self.state = self.stepper.return_to_service(self.state, node)
+
+    def suppress_session(self, exporter: str, importer: str) -> None:
+        """Gray-fail ``exporter → importer`` (see :meth:`SpvpStepper.suppress_session`)."""
+        self.state = self.stepper.suppress_session(self.state, exporter, importer)
+
 
 class ReferenceSpvpSimulator:
     """The original mutable dict/deque SPVP simulator, kept as an oracle.
@@ -769,6 +939,11 @@ class ReferenceSpvpSimulator:
         self.buffers: Dict[Channel, Deque[Optional[Route]]] = {}
         self.history: List[SpvpEvent] = []
         self.steps = 0
+        # Lifecycle overlays, mirroring SpvpStepper's.  deepcopy-based
+        # explorers inherit them per successor, which matches the stepper's
+        # constant-per-exploration overlay because events only fire at roots.
+        self.quiesced: Set[str] = set()
+        self.suppressed: Set[Channel] = set()
         self._initialise()
 
     # ------------------------------------------------------------------ setup
@@ -789,6 +964,8 @@ class ReferenceSpvpSimulator:
     def _advertise(self, sender: str) -> None:
         """Queue ``sender``'s current best path to all of its peers."""
         for peer in self.instance.peers(sender):
+            if (sender, peer) in self.suppressed:
+                continue
             advertisement = self.instance.export(sender, peer, self.best[sender])
             self.buffers[(sender, peer)].append(advertisement)
 
@@ -826,7 +1003,7 @@ class ReferenceSpvpSimulator:
         new_best = self._select_best(receiver)
         event = SpvpEvent(node=receiver, peer=sender, advertised=advertised, new_best=new_best)
         self.history.append(event)
-        if self._paths_differ(self.best[receiver], new_best):
+        if self._paths_differ(self.best[receiver], new_best) and receiver not in self.quiesced:
             self.best[receiver] = new_best
             self._advertise(receiver)
         else:
@@ -879,3 +1056,51 @@ class ReferenceSpvpSimulator:
             if (sender, receiver) in self.buffers:
                 self.buffers[(sender, receiver)].clear()
                 self.buffers[(sender, receiver)].append(None)
+
+    # ------------------------------------------------------------------ lifecycle
+    def crash_node(self, node: str) -> None:
+        """Crash ``node`` (mirror of :meth:`SpvpStepper.crash_node`)."""
+        self.best[node] = None
+        for peer in self.instance.peers(node):
+            self.rib_in[(node, peer)] = None
+            out = self.buffers[(node, peer)]
+            out.clear()
+            out.append(None)
+            self.buffers[(peer, node)].clear()
+
+    def restart_node(self, node: str) -> None:
+        """Boot ``node`` (mirror of :meth:`SpvpStepper.restart_node`)."""
+        origin = node in set(self.instance.origins())
+        boot = self.instance.origin_route(node) if origin else None  # type: ignore[attr-defined]
+        self.best[node] = boot
+        for peer in self.instance.peers(node):
+            self.rib_in[(node, peer)] = None
+            out = self.buffers[(node, peer)]
+            out.clear()
+            out.append(None)
+            if boot is not None and (node, peer) not in self.suppressed:
+                out.append(self.instance.export(node, peer, boot))
+            inbound = self.buffers[(peer, node)]
+            inbound.clear()
+            if (peer, node) not in self.suppressed and peer not in self.quiesced:
+                inbound.append(self.instance.export(peer, node, self.best[peer]))
+
+    def quiesce_node(self, node: str) -> None:
+        """Drain ``node`` (mirror of :meth:`SpvpStepper.quiesce_node`)."""
+        self.quiesced.add(node)
+        for peer in self.instance.peers(node):
+            if (node, peer) not in self.suppressed:
+                self.buffers[(node, peer)].append(None)
+
+    def return_to_service(self, node: str) -> None:
+        """End ``node``'s drain (mirror of :meth:`SpvpStepper.return_to_service`)."""
+        self.quiesced.discard(node)
+        self._advertise(node)
+
+    def suppress_session(self, exporter: str, importer: str) -> None:
+        """Gray-fail ``exporter → importer`` (mirror of
+        :meth:`SpvpStepper.suppress_session`)."""
+        channel = (exporter, importer)
+        self.suppressed.add(channel)
+        if channel in self.buffers:
+            self.buffers[channel].clear()

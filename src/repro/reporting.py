@@ -209,20 +209,27 @@ def transient_result_to_dict(result) -> Dict[str, object]:
 def transient_campaign_to_dict(campaign) -> Dict[str, object]:
     """The JSON-serialisable form of a transient campaign
     (:class:`repro.transient.TransientCampaignResult`)."""
+    runs: List[Dict[str, object]] = []
+    for run in campaign.runs:
+        entry: Dict[str, object] = {
+            "pec_index": run.pec_index,
+            "failed_links": list(run.failure.failed_links),
+            "prefix": run.prefix,
+            "result": transient_result_to_dict(run.result),
+        }
+        scenario = getattr(run, "scenario", None)
+        if scenario is not None:
+            entry["scenario"] = scenario
+        runs.append(entry)
     document: Dict[str, object] = {
         "holds": campaign.holds,
         "failure_scenarios": campaign.failure_scenarios,
         "elapsed_seconds": round(campaign.elapsed_seconds, 6),
-        "runs": [
-            {
-                "pec_index": run.pec_index,
-                "failed_links": list(run.failure.failed_links),
-                "prefix": run.prefix,
-                "result": transient_result_to_dict(run.result),
-            }
-            for run in campaign.runs
-        ],
+        "runs": runs,
     }
+    event_scenarios = getattr(campaign, "event_scenarios", 0)
+    if event_scenarios:
+        document["event_scenarios"] = event_scenarios
     incremental = getattr(campaign, "incremental", None)
     if incremental is not None:
         document["incremental"] = incremental.as_dict()
@@ -253,6 +260,9 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
         verdict += f" — **PARTIAL** ({len(campaign_errors)} task(s) failed)"
     lines.append(f"Transient properties: {verdict}")
     lines.append(f"Failure scenarios: {campaign.failure_scenarios}")
+    event_scenarios = getattr(campaign, "event_scenarios", 0)
+    if event_scenarios:
+        lines.append(f"Event scenarios: {event_scenarios}")
     incremental = getattr(campaign, "incremental", None)
     if incremental is not None:
         lines.append("")
@@ -262,8 +272,17 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
             + (f" — {incremental.delta_summary}" if incremental.delta_summary else "")
         )
     lines.append("")
-    lines.append("| failures | prefix | verdict | states | converged | truncated | reduction |")
-    lines.append("|---|---|---|---|---|---|---|")
+    # The scenario column appears only when some run carries one, so plain
+    # failure campaigns keep their historical table shape.
+    with_scenarios = any(
+        getattr(run, "scenario", None) is not None for run in campaign.runs
+    )
+    scenario_header = " scenario |" if with_scenarios else ""
+    lines.append(
+        f"| failures | prefix |{scenario_header} verdict | states | converged "
+        "| truncated | reduction |"
+    )
+    lines.append("|---|---|" + ("-" * 3 + "|" if with_scenarios else "") + "---|---|---|---|---|")
     for run in campaign.runs:
         failures = ", ".join(str(link) for link in run.failure.failed_links) or "none"
         result = run.result
@@ -273,8 +292,11 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
             if result.reduction is not None
             else "-"
         )
+        scenario_cell = (
+            f" {getattr(run, 'scenario', None) or 'none'} |" if with_scenarios else ""
+        )
         lines.append(
-            f"| {failures} | `{run.prefix}` | "
+            f"| {failures} | `{run.prefix}` |{scenario_cell} "
             f"{'HOLDS' if result.holds else 'VIOLATED'} | "
             f"{result.states_explored} | {result.converged_states} | "
             f"{'yes' if result.truncated else 'no'} | {reduction} |"

@@ -1,0 +1,337 @@
+"""k-event scenario enumeration with symmetry-based deduplication.
+
+A campaign over lifecycle events asks: "for every sequence of up to *k*
+operational events, does the transient property still hold?"  Enumerating
+every ordered sequence over every device and session explodes quickly, and —
+exactly as for link failures (§4.3) — most sequences are equivalent to one
+another.  Two reductions are applied, both *before* any exploration runs:
+
+* **DEC/LEC symmetry** (the §4.3 reduction, re-targeted at events): at each
+  extension step the Device Equivalence Classes are recomputed with every
+  node already touched by the chosen prefix pinned into a singleton class,
+  and only one representative device per DEC (respectively one
+  representative link per LEC) is offered for the next event.  Crashing any
+  member of a device class reaches a root state isomorphic to crashing the
+  representative, so the verdict set is preserved whenever the colours
+  capture everything that breaks symmetry (per-node origination, policy
+  sources — the same contract :func:`~repro.topology.failures.
+  reduced_failure_scenarios` operates under).
+
+* **Commuting-order canonicalisation**: two adjacent events whose
+  neighbourhood-closed touch sets are disjoint write and read disjoint slots
+  of the SPVP state (every lifecycle primitive only writes slots incident to
+  its touched nodes and reads at most their direct neighbours' bests and the
+  stepper overlays of its own nodes), so swapping them reaches the *same*
+  root state.  Sequences are therefore sorted to a canonical interleaving by
+  bubbling commuting adjacent pairs, and only canonical sequences are
+  emitted — (crash a, crash z) and (crash z, crash a) collapse when a and z
+  are far apart.
+
+Scenarios are emitted as descriptor tuples turned into
+:class:`~repro.scenarios.events.Scenario` values; non-empty scenarios lead
+with a :class:`~repro.transient.explorer.Converge` so each one perturbs the
+canonical steady state, mirroring the established session-flap workflow.
+:func:`brute_event_scenarios` is the unreduced oracle the property suite
+pins the reduction against, and :class:`ScenarioLedger` records how much the
+reduction pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import TopologyError
+from repro.scenarios.events import (
+    Converge,
+    FailSession,
+    GrayFailure,
+    MaintenanceDrain,
+    NodeCrash,
+    NodeRestart,
+    ReturnToService,
+    Scenario,
+)
+from repro.topology.failures import DeviceEquivalence
+from repro.topology.graph import Topology
+
+#: Every enumerable event kind.  ``maintenance`` is the staged
+#: drain-then-return pair; ``gray`` enumerates both directions of a session.
+EVENT_KINDS = ("crash", "restart", "drain", "maintenance", "flap", "gray")
+
+#: The default campaign vocabulary (all of them).
+DEFAULT_EVENT_KINDS = EVENT_KINDS
+
+_NODE_KINDS = ("crash", "restart", "drain", "maintenance")
+_LINK_KINDS = ("flap", "gray")
+
+#: A descriptor is the picklable, comparable identity of one atomic event:
+#: ``(kind, node)`` for node kinds, ``(kind, a, b)`` for session kinds.
+Descriptor = Tuple[str, ...]
+
+
+@dataclass
+class ScenarioLedger:
+    """Accounting of one enumeration: how much did the reduction prune?"""
+
+    #: Size of the atomic event universe (all kinds, all devices/sessions).
+    universe: int = 0
+    #: Sequences the unreduced brute-force enumeration would emit.
+    brute: int = 0
+    #: Sequences actually emitted after both reductions.
+    emitted: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return self.brute - self.emitted
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "universe": self.universe,
+            "brute": self.brute,
+            "emitted": self.emitted,
+            "pruned": self.pruned,
+        }
+
+
+def _check_kinds(kinds: Sequence[str]) -> Tuple[str, ...]:
+    kinds = tuple(kinds)
+    for kind in kinds:
+        if kind not in EVENT_KINDS:
+            raise TopologyError(
+                f"unknown event kind {kind!r}; choose from {EVENT_KINDS}"
+            )
+    return kinds
+
+
+def _touched(descriptor: Descriptor) -> Tuple[str, ...]:
+    """The devices an event operates on (in descriptor order)."""
+    return descriptor[1:]
+
+
+def describe_descriptor(descriptor: Descriptor) -> str:
+    kind = descriptor[0]
+    if kind in _NODE_KINDS:
+        return f"{kind} {descriptor[1]}"
+    if kind == "flap":
+        return f"flap {descriptor[1]}<->{descriptor[2]}"
+    return f"gray {descriptor[1]}->{descriptor[2]}"
+
+
+def _descriptor_events(descriptor: Descriptor) -> Tuple[object, ...]:
+    kind = descriptor[0]
+    if kind == "crash":
+        return (NodeCrash(descriptor[1]),)
+    if kind == "restart":
+        return (NodeRestart(descriptor[1]),)
+    if kind == "drain":
+        return (MaintenanceDrain(descriptor[1]),)
+    if kind == "maintenance":
+        return (MaintenanceDrain(descriptor[1]), ReturnToService(descriptor[1]))
+    if kind == "flap":
+        return (FailSession(descriptor[1], descriptor[2]),)
+    if kind == "gray":
+        return (GrayFailure(descriptor[1], descriptor[2]),)
+    raise TopologyError(f"unknown event kind {kind!r}")
+
+
+def scenario_from_descriptor(
+    descriptors: Sequence[Descriptor], converge_first: bool = True
+) -> Scenario:
+    """Build the :class:`Scenario` of an (ordered) descriptor sequence."""
+    descriptors = tuple(descriptors)
+    events: Tuple[object, ...] = ()
+    if converge_first and descriptors:
+        events += (Converge(),)
+    for descriptor in descriptors:
+        events += _descriptor_events(descriptor)
+    name = "; ".join(describe_descriptor(d) for d in descriptors) or "steady state"
+    return Scenario(events=events, name=name)
+
+
+def event_universe(
+    topology: Topology, kinds: Sequence[str] = DEFAULT_EVENT_KINDS
+) -> List[Descriptor]:
+    """Every atomic event descriptor of ``topology`` for the given kinds."""
+    kinds = _check_kinds(kinds)
+    universe: List[Descriptor] = []
+    nodes = sorted(topology.nodes)
+    for kind in kinds:
+        if kind in _NODE_KINDS:
+            universe.extend((kind, node) for node in nodes)
+    session_kinds = [kind for kind in kinds if kind in _LINK_KINDS]
+    if session_kinds:
+        for link in topology.links:
+            a, b = sorted((link.a, link.b))
+            for kind in session_kinds:
+                if kind == "flap":
+                    universe.append(("flap", a, b))
+                else:
+                    universe.append(("gray", a, b))
+                    universe.append(("gray", b, a))
+    return universe
+
+
+# --------------------------------------------------------------------------- commutation
+def _influence(topology: Topology, descriptor: Descriptor) -> FrozenSet[str]:
+    """Touched nodes plus their direct neighbours (the event's read cone)."""
+    touched = set(_touched(descriptor))
+    influence = set(touched)
+    for name in touched:
+        for link in topology.edges(name):
+            influence.add(link.other(name))
+    return frozenset(influence)
+
+
+def _commute(
+    topology: Topology,
+    a: Descriptor,
+    b: Descriptor,
+    influence: Dict[Descriptor, FrozenSet[str]],
+) -> bool:
+    """Whether adjacent events ``a`` and ``b`` provably reach the same state
+    in either order: each one's touched set is outside the other's read cone
+    (every primitive writes only slots incident to its touched nodes)."""
+    cone_a = influence.setdefault(a, _influence(topology, a))
+    cone_b = influence.setdefault(b, _influence(topology, b))
+    touched_a = set(_touched(a))
+    touched_b = set(_touched(b))
+    return touched_a.isdisjoint(cone_b) and touched_b.isdisjoint(cone_a)
+
+
+def _canonical(
+    topology: Topology,
+    sequence: Tuple[Descriptor, ...],
+    influence: Dict[Descriptor, FrozenSet[str]],
+) -> Tuple[Descriptor, ...]:
+    """Bubble commuting adjacent events into lexicographic order."""
+    items = list(sequence)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(items) - 1):
+            left, right = items[index], items[index + 1]
+            if right < left and _commute(topology, left, right, influence):
+                items[index], items[index + 1] = right, left
+                changed = True
+    return tuple(items)
+
+
+# --------------------------------------------------------------------------- enumeration
+def _sequence_count(universe: int, max_events: int) -> int:
+    """Ordered sequences of distinct descriptors with length 0..max_events."""
+    total = 1  # the empty scenario
+    term = 1
+    for length in range(1, max_events + 1):
+        term *= max(universe - (length - 1), 0)
+        total += term
+    return total
+
+
+def brute_event_scenarios(
+    topology: Topology,
+    max_events: int,
+    kinds: Sequence[str] = DEFAULT_EVENT_KINDS,
+    converge_first: bool = True,
+) -> List[Scenario]:
+    """The unreduced oracle: every ordered sequence of distinct events up to
+    ``max_events`` long, over the full universe.  Exponential — test-sized
+    topologies only."""
+    if max_events < 0:
+        raise TopologyError(f"max_events must be non-negative, got {max_events}")
+    universe = event_universe(topology, kinds)
+    results: List[Tuple[Descriptor, ...]] = [()]
+
+    def extend(prefix: Tuple[Descriptor, ...], remaining: int) -> None:
+        if remaining == 0:
+            return
+        for descriptor in universe:
+            if descriptor in prefix:
+                continue
+            sequence = prefix + (descriptor,)
+            results.append(sequence)
+            extend(sequence, remaining - 1)
+
+    extend((), max_events)
+    return [scenario_from_descriptor(seq, converge_first) for seq in results]
+
+
+def enumerate_event_scenarios(
+    topology: Topology,
+    max_events: int,
+    kinds: Sequence[str] = DEFAULT_EVENT_KINDS,
+    colors: Optional[Dict[str, object]] = None,
+    interesting_nodes: Optional[Sequence[str]] = None,
+    converge_first: bool = True,
+    ledger: Optional[ScenarioLedger] = None,
+) -> List[Scenario]:
+    """Event scenarios up to ``max_events`` long, symmetry-reduced.
+
+    Mirrors :func:`~repro.topology.failures.reduced_failure_scenarios`: at
+    each extension the equivalence classes are recomputed with the prefix's
+    touched nodes pinned (each gets a colour recording its exact role in the
+    prefix), one representative device per DEC / link per LEC is offered per
+    kind, and non-canonical interleavings of commuting events are dropped.
+    The empty (steady-state) scenario always comes first.  ``ledger``, when
+    given, receives the universe/brute/emitted accounting.
+    """
+    if max_events < 0:
+        raise TopologyError(f"max_events must be non-negative, got {max_events}")
+    kinds = _check_kinds(kinds)
+    base_colors: Dict[str, object] = dict(colors or {})
+    for index, name in enumerate(interesting_nodes or ()):
+        base_colors[name] = ("interesting", index, name)
+
+    node_kinds = [kind for kind in kinds if kind in _NODE_KINDS]
+    session_kinds = [kind for kind in kinds if kind in _LINK_KINDS]
+    influence: Dict[Descriptor, FrozenSet[str]] = {}
+    results: List[Tuple[Descriptor, ...]] = [()]
+    seen: Set[Tuple[Descriptor, ...]] = {()}
+
+    def candidates(prefix: Tuple[Descriptor, ...]) -> List[Descriptor]:
+        marks = dict(base_colors)
+        roles: Dict[str, List[Tuple[int, int]]] = {}
+        for position, descriptor in enumerate(prefix):
+            for slot, name in enumerate(_touched(descriptor)):
+                roles.setdefault(name, []).append((position, slot))
+        for name, role in roles.items():
+            marks[name] = ("touched", base_colors.get(name), tuple(role))
+        equivalence = DeviceEquivalence(topology, marks)
+        offered: List[Descriptor] = []
+        if node_kinds:
+            representatives = sorted(
+                members[0] for members in equivalence.class_members().values()
+            )
+            for kind in node_kinds:
+                offered.extend((kind, name) for name in representatives)
+        if session_kinds:
+            for link_id in equivalence.representative_links():
+                link = topology.link(link_id)
+                a, b = sorted((link.a, link.b))
+                for kind in session_kinds:
+                    if kind == "flap":
+                        offered.append(("flap", a, b))
+                    else:
+                        offered.append(("gray", a, b))
+                        offered.append(("gray", b, a))
+        return offered
+
+    def extend(prefix: Tuple[Descriptor, ...], remaining: int) -> None:
+        if remaining == 0:
+            return
+        for descriptor in candidates(prefix):
+            if descriptor in prefix:
+                continue
+            sequence = _canonical(topology, prefix + (descriptor,), influence)
+            if sequence in seen:
+                continue
+            seen.add(sequence)
+            results.append(sequence)
+            extend(sequence, remaining - 1)
+
+    extend((), max_events)
+    if ledger is not None:
+        ledger.universe = len(event_universe(topology, kinds))
+        ledger.brute = _sequence_count(ledger.universe, max_events)
+        ledger.emitted = len(results)
+    return [scenario_from_descriptor(seq, converge_first) for seq in results]

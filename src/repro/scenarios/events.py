@@ -1,0 +1,235 @@
+"""The event vocabulary: lifecycle events as initial-event scenarios.
+
+Every event is a frozen, picklable dataclass with the initial-event protocol
+the transient explorer already speaks:
+
+* ``apply(stepper, state) -> SpvpState`` — the persistent-core semantics,
+* ``apply_to_simulator(simulator) -> None`` — the naive-oracle semantics,
+* ``describe() -> str`` — the human/cache-facing description.
+
+The two ``apply`` paths are deliberately implemented on *both* models
+(:class:`~repro.protocols.spvp.SpvpStepper` and
+:class:`~repro.protocols.spvp.ReferenceSpvpSimulator` carry mirrored
+lifecycle primitives) so ``tests/property/test_scenario_events.py`` can pin
+them bit-identical on randomized instances — the same oracle discipline the
+state core itself was built under.
+
+Event semantics, in SPVP terms:
+
+``NodeCrash``
+    Crash-recovery: the node's RIB is lost, adjacent sessions drop (peers
+    see a transport ⊥, in-flight messages towards the node are lost), and
+    the node rejoins cold — even an origin, which lazily re-selects its
+    origin route on the next delivery to it.
+
+``NodeRestart``
+    A clean boot: sessions bounce (⊥), the node advertises only its
+    locally-originated route, and every peer re-sends its current best as
+    the sessions re-establish.
+
+``MaintenanceDrain``
+    Graceful quiesce: the node sends ⊥ everywhere and stops re-advertising
+    best-path changes, but keeps its RIB (it still forwards).
+
+``ReturnToService``
+    Ends a drain: the node re-advertises its current best to all peers.
+
+``FlapStorm``
+    A batch of simultaneous session flaps (each as
+    :class:`~repro.transient.explorer.FailSession`).
+
+``GrayFailure``
+    A filter silently dropping updates in one direction: queued updates on
+    the ``exporter → importer`` direction are lost and nothing further is
+    sent over it, while the importer's rib-in stays silently stale.
+
+``Scenario``
+    A named, staged sequence of the above (events applied in order) that is
+    itself an initial event — campaigns, the CLI and the cache all traffic
+    in ``Scenario`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.protocols.rpvp import RpvpState
+from repro.protocols.spvp import ReferenceSpvpSimulator, SpvpState, SpvpStepper
+
+# Re-exported so the scenario vocabulary is complete in one namespace.
+from repro.transient.explorer import Converge, FailSession
+
+__all__ = [
+    "Converge",
+    "FailSession",
+    "FlapStorm",
+    "GrayFailure",
+    "MaintenanceDrain",
+    "NodeCrash",
+    "NodeRestart",
+    "ReturnToService",
+    "Scenario",
+    "maintenance_window",
+    "steady_state_after",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Initial event: ``node`` crashes and rejoins cold."""
+
+    node: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.crash_node(state, self.node)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.crash_node(self.node)
+
+    def describe(self) -> str:
+        return f"crash {self.node}"
+
+
+@dataclass(frozen=True)
+class NodeRestart:
+    """Initial event: ``node`` reboots cleanly and sessions re-establish."""
+
+    node: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.restart_node(state, self.node)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.restart_node(self.node)
+
+    def describe(self) -> str:
+        return f"restart {self.node}"
+
+
+@dataclass(frozen=True)
+class MaintenanceDrain:
+    """Initial event: ``node`` is drained (quiesced) for maintenance."""
+
+    node: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.quiesce_node(state, self.node)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.quiesce_node(self.node)
+
+    def describe(self) -> str:
+        return f"drain {self.node}"
+
+
+@dataclass(frozen=True)
+class ReturnToService:
+    """Initial event: a drained ``node`` returns to service."""
+
+    node: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.return_to_service(state, self.node)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.return_to_service(self.node)
+
+    def describe(self) -> str:
+        return f"return {self.node}"
+
+
+@dataclass(frozen=True)
+class FlapStorm:
+    """Initial event: several sessions flap at once, in the given order."""
+
+    sessions: Tuple[Tuple[str, str], ...]
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        for a, b in self.sessions:
+            state = stepper.fail_session(state, a, b)
+        return state
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        for a, b in self.sessions:
+            simulator.fail_session(a, b)
+
+    def describe(self) -> str:
+        return "flap-storm " + ", ".join(f"{a}<->{b}" for a, b in self.sessions)
+
+
+@dataclass(frozen=True)
+class GrayFailure:
+    """Initial event: the ``exporter → importer`` direction silently drops
+    route updates from now on (the importer keeps forwarding on stale state)."""
+
+    exporter: str
+    importer: str
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        return stepper.suppress_session(state, self.exporter, self.importer)
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        simulator.suppress_session(self.exporter, self.importer)
+
+    def describe(self) -> str:
+        return f"gray {self.exporter}->{self.importer}"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, staged sequence of initial events — itself an initial event."""
+
+    events: Tuple[object, ...] = ()
+    name: str = ""
+
+    def apply(self, stepper: SpvpStepper, state: SpvpState) -> SpvpState:
+        for event in self.events:
+            state = event.apply(stepper, state)
+        return state
+
+    def apply_to_simulator(self, simulator: ReferenceSpvpSimulator) -> None:
+        for event in self.events:
+            event.apply_to_simulator(simulator)
+
+    def describe(self) -> str:
+        if self.name:
+            return self.name
+        if not self.events:
+            return "steady state"
+        return "; ".join(event.describe() for event in self.events)
+
+
+def maintenance_window(node: str, converge_steps: int = 100_000) -> Scenario:
+    """The staged maintenance sequence: drain, let the network settle,
+    return to service — "what breaks during next week's maintenance?"."""
+    return Scenario(
+        events=(
+            MaintenanceDrain(node),
+            Converge(max_steps=converge_steps),
+            ReturnToService(node),
+        ),
+        name=f"maintenance {node}",
+    )
+
+
+def steady_state_after(
+    instance,
+    events: Tuple[object, ...] = (),
+    max_steps: int = 100_000,
+    stepper: Optional[SpvpStepper] = None,
+) -> RpvpState:
+    """The converged state reached after applying ``events`` and draining.
+
+    The steady-state consumption path of the vocabulary: build (or reuse) a
+    stepper, start from the SPVP initial state, apply the scenario events in
+    order, then drain along the canonical delivery order.  Raises
+    :class:`~repro.exceptions.ProtocolError` when the instance does not
+    converge within ``max_steps``.
+    """
+    stepper = stepper or SpvpStepper(instance)
+    state = stepper.initial_state()
+    for event in events:
+        state = event.apply(stepper, state)
+    state = stepper.drain(state, max_steps=max_steps)
+    return state.converged_rpvp()

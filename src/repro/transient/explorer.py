@@ -159,6 +159,14 @@ class TransientOptions:
     #: incremental cache excludes them from transient fingerprints.
     task_timeout: Optional[float] = None
     task_retries: Optional[int] = None
+    #: Lifecycle-scenario campaign knobs (``src/repro/scenarios/``): when
+    #: ``scenario_events > 0`` the campaign task graph crosses every failure
+    #: scenario with every symmetry-reduced event scenario of up to that many
+    #: events; ``scenario_kinds`` restricts the event vocabulary (empty = all
+    #: kinds).  Both shape *what* is verified, so — unlike the supervision
+    #: knobs above — they participate in the incremental cache fingerprint.
+    scenario_events: int = 0
+    scenario_kinds: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.por not in POR_MODES:
@@ -169,6 +177,17 @@ class TransientOptions:
             )
         if self.task_retries is not None and self.task_retries < 0:
             raise ValueError("task_retries must be >= 0")
+        if self.scenario_events < 0:
+            raise ValueError("scenario_events must be >= 0")
+        object.__setattr__(self, "scenario_kinds", tuple(self.scenario_kinds))
+        if self.scenario_kinds:
+            from repro.scenarios.enumerator import EVENT_KINDS
+
+            for kind in self.scenario_kinds:
+                if kind not in EVENT_KINDS:
+                    raise ValueError(
+                        f"unknown event kind {kind!r}; choose from {EVENT_KINDS}"
+                    )
 
 
 # --------------------------------------------------------------------------- initial events
@@ -764,6 +783,9 @@ class TransientTaskConfig:
     properties: Tuple[TransientProperty, ...]
     options: TransientOptions = field(default_factory=TransientOptions)
     initial_events: Tuple[object, ...] = ()
+    #: Description of the lifecycle scenario baked into ``initial_events``
+    #: (``None`` for plain failure tasks); labels the task's campaign runs.
+    scenario: Optional[str] = None
 
 
 @dataclass
@@ -774,6 +796,8 @@ class TransientCampaignRun:
     failure: FailureScenario
     prefix: str
     result: TransientAnalysisResult
+    #: The lifecycle scenario this run perturbed with (None = none).
+    scenario: Optional[str] = None
 
     @property
     def violations(self) -> List[TransientViolation]:
@@ -787,6 +811,9 @@ class TransientCampaignResult:
 
     runs: List[TransientCampaignRun] = field(default_factory=list)
     failure_scenarios: int = 0
+    #: Lifecycle event scenarios crossed with the failure scenarios
+    #: (0 = the campaign did not enumerate event scenarios).
+    event_scenarios: int = 0
     elapsed_seconds: float = 0.0
     #: Cache accounting when the campaign ran through the incremental
     #: service (:class:`repro.incremental.service.IncrementalRunStats`).
@@ -827,9 +854,14 @@ class TransientCampaignResult:
             verdict += f" [PARTIAL: {len(self.errors)} task(s) failed]"
         states = sum(run.result.states_explored for run in self.runs)
         truncated = sum(1 for run in self.runs if run.result.truncated)
+        scenarios = (
+            f" x {self.event_scenarios} event scenario(s)"
+            if self.event_scenarios
+            else ""
+        )
         return (
             f"transient campaign: {verdict}; {len(self.runs)} run(s) over "
-            f"{self.failure_scenarios} failure scenario(s), {states} state(s), "
+            f"{self.failure_scenarios} failure scenario(s){scenarios}, {states} state(s), "
             f"{truncated} truncated, {self.elapsed_seconds:.3f}s"
         )
 
@@ -871,7 +903,8 @@ class _TransientAggregator:
 
     def finalize(self) -> TransientCampaignResult:
         campaign = TransientCampaignResult(
-            failure_scenarios=self._graph.failure_scenarios
+            failure_scenarios=self._graph.failure_scenarios,
+            event_scenarios=getattr(self._graph, "event_scenarios", 0),
         )
         for task in self._graph.tasks:
             campaign.runs.extend(self._runs_by_task.get(task.task_id, []))
@@ -923,6 +956,7 @@ def execute_transient_task(plankton, spec, should_cancel=None):
                 failure=spec.failure,
                 prefix=str(prefix),
                 result=analysis,
+                scenario=config.scenario,
             )
         )
     return result
@@ -936,6 +970,7 @@ def analyze_pec_transients_over_failures(
     transient: Optional[TransientOptions] = None,
     failures: Optional[Sequence[FailureScenario]] = None,
     initial_events: Sequence[object] = (),
+    scenarios: Optional[Sequence[object]] = None,
     plankton=None,
 ) -> TransientCampaignResult:
     """Run a transient campaign over failure scenarios through the engine.
@@ -945,6 +980,13 @@ def analyze_pec_transients_over_failures(
     reduction under ``options.max_failures`` — executed on the backend the
     :class:`~repro.core.options.PlanktonOptions` select (serial, or the
     persistent process pool with cross-worker early cancellation).
+
+    ``scenarios`` (a sequence of :class:`repro.scenarios.Scenario` values)
+    crosses every failure scenario with every lifecycle event scenario — one
+    task per (failure, scenario) pair, the scenario's events appended to
+    ``initial_events``.  When omitted and ``transient.scenario_events > 0``,
+    the graph builder derives the scenario list with the symmetry-reduced
+    k-event enumerator (:func:`repro.scenarios.enumerate_event_scenarios`).
 
     ``transient.stop_at_first_violation`` governs *all* transient stopping:
     each per-prefix analysis, and the campaign-level cancellation of
@@ -991,7 +1033,12 @@ def analyze_pec_transients_over_failures(
         initial_events=tuple(initial_events),
     )
     graph = build_transient_task_graph(
-        network, plankton.pec_by_index(pec.index), options, config, failures=failures
+        network,
+        plankton.pec_by_index(pec.index),
+        options,
+        config,
+        failures=failures,
+        scenarios=scenarios,
     )
     aggregator = _TransientAggregator(graph, options)
     backend = select_backend(options, graph)

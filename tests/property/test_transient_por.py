@@ -238,6 +238,88 @@ class TestRankImmunityAgainstFullOracle:
         assume(_complete(full, refined))
         assert full.verdict_signature() == refined.verdict_signature()
 
+class TestPorUnderLifecycleScenarios:
+    """POR soundness must survive node-level lifecycle events.
+
+    Node crash is the sharp case: it can leave even the solo origin with no
+    best route, which invalidates any *static* frozen-origin assumption (the
+    selector decides freezing per state) and makes deliveries to a routeless
+    origin dangerous (they resurrect the origin route).  Drain/return change
+    re-advertisement behaviour through the stepper overlays, which the
+    selector treats as a sound over-approximation.  These tests pin the
+    ample reduction — with and without the rank-immunity refinement — to the
+    unreduced ``por="full"`` verdicts on the RankedGadgetInstance suite,
+    with the event node drawn over *all* nodes (the origin included).
+    """
+
+    @staticmethod
+    def _event_lists(kind, node):
+        from repro.scenarios import (
+            MaintenanceDrain,
+            NodeCrash,
+            NodeRestart,
+            ReturnToService,
+        )
+
+        settle = Converge(max_steps=3_000)
+        if kind == "crash":
+            return [settle, NodeCrash(node)]
+        if kind == "restart":
+            return [settle, NodeRestart(node)]
+        return [settle, MaintenanceDrain(node), settle, ReturnToService(node)]
+
+    @pytest.mark.parametrize("kind", ["crash", "restart", "maintenance"])
+    @given(scenario=gadget_scenarios(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_reduced_scenario_explorations_preserve_verdicts(
+        self, kind, scenario, data
+    ):
+        edge_map, preferences, _flap = scenario
+        node = data.draw(st.sampled_from(sorted(edge_map)), label="event node")
+        events = self._event_lists(kind, node)
+        try:
+            full = _explore(
+                RankedGadgetInstance("o", edge_map, preferences), "full", events
+            )
+        except ProtocolError:
+            assume(False)  # divergent configuration: nothing to compare
+        refined = _explore(
+            RankedGadgetInstance("o", edge_map, preferences), "ample", events
+        )
+        plain = TransientAnalyzer(
+            RankedGadgetInstance("o", edge_map, preferences),
+            collect_converged=True,
+            por="ample",
+            rank_immunity=False,
+            **BUDGET,
+        ).analyze(_properties(), initial_events=events)
+        assume(_complete(full, refined, plain))
+        assert full.verdict_signature() == refined.verdict_signature()
+        assert full.verdict_signature() == plain.verdict_signature()
+
+    @given(scenario=gadget_scenarios(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_origin_crash_keeps_sleep_mode_sound_too(self, scenario, data):
+        """The sleep-set mode sees the same post-crash states (the crash of
+        the origin is the historical frozen-origin trap)."""
+        from repro.scenarios import NodeCrash
+
+        edge_map, preferences, _flap = scenario
+        events = [Converge(max_steps=3_000), NodeCrash("o")]
+        try:
+            full = _explore(
+                RankedGadgetInstance("o", edge_map, preferences), "full", events
+            )
+        except ProtocolError:
+            assume(False)
+        sleep = _explore(
+            RankedGadgetInstance("o", edge_map, preferences), "sleep", events
+        )
+        assume(_complete(full, sleep))
+        assert full.verdict_signature() == sleep.verdict_signature()
+
+
+class TestRankImmunityBruteForce:
     @given(scenario=gadget_scenarios())
     @settings(max_examples=40, deadline=None)
     def test_immune_sessions_never_change_the_receivers_best(self, scenario):

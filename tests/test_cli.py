@@ -398,6 +398,110 @@ class TestTransientCommand:
         assert "no BGP-originated prefixes" in capsys.readouterr().out
 
 
+class TestTransientScenarioFlags:
+    """The lifecycle-scenario surface of ``repro transient``: explicit
+    ``--scenario`` selections, the ``--scenario-events`` enumerator budget,
+    exit codes on bad input, JSON round-trips, and the campaign-cache
+    fingerprint covering scenarios."""
+
+    def _args(self, bgp_workspace, *extra):
+        return [
+            "transient", "--topology", bgp_workspace / "bgp.topo",
+            "--config", bgp_workspace / "bgp.cfg", "--max-states", "2000",
+            *extra,
+        ]
+
+    def test_crash_scenario_finds_the_transient_loop(self, bgp_workspace, capsys):
+        code = _run(self._args(bgp_workspace, "--scenario", "crash:m"))
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATION
+        assert "VIOLATED" in out
+        assert "1 event scenario(s)" in out
+
+    def test_maintenance_scenario_holds(self, bgp_workspace, capsys):
+        code = _run(self._args(bgp_workspace, "--scenario", "maintenance:a"))
+        assert code == EXIT_HOLDS
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_staged_scenario_spec_parses(self, bgp_workspace):
+        code = _run(self._args(bgp_workspace, "--scenario", "drain:a+return:a"))
+        assert code == EXIT_HOLDS
+
+    def test_unknown_scenario_device_is_an_input_error(self, bgp_workspace, capsys):
+        code = _run(self._args(bgp_workspace, "--scenario", "crash:zz"))
+        assert code == EXIT_ERROR
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_malformed_scenario_spec_is_an_input_error(self, bgp_workspace, capsys):
+        assert _run(self._args(bgp_workspace, "--scenario", "crash")) == EXIT_ERROR
+        capsys.readouterr()
+        assert _run(self._args(bgp_workspace, "--scenario", "meteor:m")) == EXIT_ERROR
+        assert "unknown" in capsys.readouterr().err
+
+    def test_unknown_scenario_kind_is_an_input_error(self, bgp_workspace, capsys):
+        code = _run(self._args(
+            bgp_workspace, "--scenario-events", "1", "--scenario-kinds", "meteor",
+        ))
+        assert code == EXIT_ERROR
+        assert "unknown event kind" in capsys.readouterr().err
+
+    def test_scenario_enumeration_json_round_trip(self, bgp_workspace, capsys):
+        code = _run(self._args(
+            bgp_workspace, "--json", "--scenario-events", "1",
+            "--scenario-kinds", "crash,drain", "--all-violations",
+        ))
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_VIOLATION
+        assert document["event_scenarios"] > 1
+        labels = {run["scenario"] for run in document["runs"]}
+        assert "steady state" in labels
+        assert any(label.startswith("crash ") for label in labels)
+        assert len(document["runs"]) == document["event_scenarios"]
+
+    def test_explicit_scenario_json_carries_its_name(self, bgp_workspace, capsys):
+        code = _run(self._args(
+            bgp_workspace, "--json", "--scenario", "maintenance:a",
+        ))
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_HOLDS
+        assert document["event_scenarios"] == 1
+        assert [run["scenario"] for run in document["runs"]] == ["maintenance:a"]
+
+    def test_scenario_without_flags_leaves_json_unchanged(self, bgp_workspace, capsys):
+        """No scenario flags: the document keeps its pre-scenario shape."""
+        code = _run(self._args(bgp_workspace, "--json"))
+        document = json.loads(capsys.readouterr().out)
+        assert code == EXIT_HOLDS
+        assert "event_scenarios" not in document
+        assert all("scenario" not in run for run in document["runs"])
+
+    def test_cache_distinguishes_campaigns_by_scenario(self, bgp_workspace, tmp_path, capsys):
+        """Regression: two campaigns differing only in their scenario must not
+        share a cache entry (the fingerprint now covers the (failure,
+        scenario) task shape)."""
+        cache = tmp_path / "cache"
+        crash = self._args(
+            bgp_workspace, "--json", "--cache-dir", cache, "--scenario", "crash:m",
+        )
+        calm = self._args(
+            bgp_workspace, "--json", "--cache-dir", cache, "--scenario", "maintenance:a",
+        )
+        assert _run(crash) == EXIT_VIOLATION
+        capsys.readouterr()
+        # A different scenario over the same config must recompute — and
+        # reach the opposite verdict, which a stale cache hit could not.
+        assert _run(calm) == EXIT_HOLDS
+        calm_doc = json.loads(capsys.readouterr().out)
+        assert calm_doc["incremental"]["pecs_from_cache"] == 0
+        assert calm_doc["holds"] is True
+        # Re-running the same scenario IS served from cache, verdict intact.
+        assert _run(crash) == EXIT_VIOLATION
+        crash_doc = json.loads(capsys.readouterr().out)
+        assert crash_doc["incremental"]["pecs_from_cache"] == crash_doc["incremental"]["pecs_total"]
+        assert crash_doc["holds"] is False
+        assert [run["scenario"] for run in crash_doc["runs"]] == ["crash:m"]
+
+
 class TestVerifyCacheDir:
     def test_cache_dir_reports_incremental_accounting(self, workspace, tmp_path, capsys):
         cache = tmp_path / "cache"

@@ -1,0 +1,155 @@
+"""Verification service: warm-push latency vs a cold full verify.
+
+The ``repro serve`` daemon's value proposition is amortisation: the parsed
+network, the PEC partition and the fingerprint-keyed result cache stay
+resident between configuration pushes, so a push that edits one device
+re-verifies one PEC instead of paying the cold-start cost of a whole CLI
+invocation.  This benchmark measures that end to end **through the HTTP
+API**: an eight-rack eBGP star fabric (the fig7a workload shape, expressed
+as config text so it can travel over the wire) is pushed cold, then a
+one-route-map edit on a single rack is pushed against the warm session.
+
+The ``serve_fig7a_warm_push`` row of ``BENCH_explorer.json`` records both
+server-side execution times and the cache accounting.  Like the other
+emitters it runs only in the non-gating CI bench job — wall-clock on a
+loaded runner must never fail the build.
+"""
+
+from repro.client import ServiceClient
+from repro.serve import ReproServer
+
+RACKS = 8
+
+POLICY = {"policy": "loop"}
+
+#: One-failure exploration makes each PEC's verification meaningfully more
+#: expensive than the per-push fixed costs (parse, delta, fingerprints), so
+#: the warm/cold ratio measures cache value rather than HTTP overhead.
+OPTIONS = {"max_failures": 1}
+
+
+def _topology_text():
+    lines = ["topology serve-star", "node s role core"]
+    for rack in range(RACKS):
+        lines.append(f"node e{rack} role edge")
+    for rack in range(RACKS):
+        lines.append(f"link s e{rack} weight 10")
+    return "\n".join(lines)
+
+
+def _edge_body(rack, med):
+    """One rack switch: originates its prefix through an export map whose
+    MED varies per round, so every warm push genuinely changes the config
+    (and dirties exactly the rack's own PEC)."""
+    return "\n".join(
+        [
+            f"  bgp {65000 + rack}",
+            f"    network 10.{rack}.0.0/24",
+            f"    neighbor s remote-as 64512 export-map OWN",
+            "  route-map OWN permit 10",
+            f"    match prefix 10.{rack}.0.0/24",
+            f"    set med {med}",
+            "  route-map OWN permit 20",
+        ]
+    )
+
+
+def _config_text():
+    sections = []
+    for rack in range(RACKS):
+        sections.append(f"device e{rack}\n{_edge_body(rack, med=0)}")
+    spine = ["device s", "  bgp 64512"]
+    for rack in range(RACKS):
+        spine.append(f"    neighbor e{rack} remote-as {65000 + rack}")
+    sections.append("\n".join(spine))
+    return "\n".join(sections)
+
+
+def _measure(rounds=3):
+    """Cold full-config push vs warm one-device push, best-of-``rounds``.
+
+    Latencies are the *server-side* job execution times (the ``elapsed
+    _seconds`` of the job document), so client polling cadence never
+    pollutes the measurement.
+    """
+    server = ReproServer(port=0, workers=1).start()
+    try:
+        client = ServiceClient(server.url)
+        payload = {
+            "kind": "verify",
+            "topology": _topology_text(),
+            "config": _config_text(),
+            "policies": [POLICY],
+            "options": OPTIONS,
+        }
+
+        cold_wall = float("inf")
+        cold = None
+        for attempt in range(rounds):
+            namespace = f"cold-{attempt}"
+            document = client.run(namespace, dict(payload), timeout=300)
+            assert document["state"] == "done"
+            cold = document
+            cold_wall = min(cold_wall, document["elapsed_seconds"])
+
+        warm_wall = float("inf")
+        warm = None
+        for attempt in range(rounds):
+            document = client.run(
+                "cold-0",
+                {
+                    "kind": "verify",
+                    "devices": {"e0": _edge_body(0, med=attempt + 1)},
+                    "policies": [POLICY],
+                    "options": OPTIONS,
+                },
+                timeout=300,
+            )
+            assert document["state"] == "done"
+            warm = document
+            warm_wall = min(warm_wall, document["elapsed_seconds"])
+
+        incremental = warm["result"]["document"]["incremental"]
+        assert incremental["pecs_from_cache"] == RACKS - 1
+        assert incremental["pecs_recomputed"] == 1
+        return {
+            "cold_wall": cold_wall,
+            "warm_wall": warm_wall,
+            "speedup": cold_wall / max(warm_wall, 1e-9),
+            "cold_tasks": cold["result"]["document"]["incremental"]["tasks_recomputed"],
+            "warm_tasks": incremental["tasks_recomputed"],
+            "pecs_total": incremental["pecs_total"],
+            "pecs_from_cache": incremental["pecs_from_cache"],
+        }
+    finally:
+        server.stop()
+
+
+def test_bench_serve_json(reporter, bench_json):
+    """Emit the ``serve_fig7a_warm_push`` row (non-gating bench job)."""
+    measured = _measure()
+    row = {
+        "workload": (
+            f"repro serve warm push: {RACKS}-rack eBGP star fabric over the "
+            "HTTP API, cold full-config push vs one-device route-map edit "
+            "against the warm session, loop property, server-side job time"
+        ),
+        "cold_push_seconds": round(measured["cold_wall"], 4),
+        "warm_push_seconds": round(measured["warm_wall"], 4),
+        "warm_push_speedup": round(measured["speedup"], 1),
+        "cold_tasks_recomputed": measured["cold_tasks"],
+        "warm_tasks_recomputed": measured["warm_tasks"],
+        "pecs_total": measured["pecs_total"],
+        "pecs_from_cache": measured["pecs_from_cache"],
+    }
+    bench_json({"serve_fig7a_warm_push": row})
+    reporter(
+        "bench",
+        f"serve_fig7a_warm_push: cold {measured['cold_wall']:.3f}s vs warm "
+        f"{measured['warm_wall']:.3f}s ({measured['speedup']:.1f}x), "
+        f"{measured['pecs_from_cache']}/{measured['pecs_total']} PECs from cache",
+    )
+    # The warm push must do structurally less work; the wall floor is kept
+    # modest because this emitter is non-gating but still trend-recorded.
+    assert measured["warm_tasks"] < measured["cold_tasks"]
+    assert measured["speedup"] >= 2.0

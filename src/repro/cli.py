@@ -32,6 +32,13 @@ Subcommands:
     partial-order reduction, frontier and witness-minimisation knobs of
     :mod:`repro.transient` exposed as flags.
 
+``serve``
+    Run the long-lived verification service: warm per-namespace incremental
+    sessions behind a JSON-over-HTTP API (:mod:`repro.serve`).  ``verify``,
+    ``diff-verify`` and ``transient`` accept ``--server URL`` to run against
+    such a service instead of in-process — same output, same exit codes,
+    plus exit code 3 when the server cannot be reached.
+
 ``diff-verify``
     Verify an old configuration, then *incrementally* re-verify a new one:
     the structural delta is computed, only the impacted Packet Equivalence
@@ -67,25 +74,15 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.simulation import SimulationVerifier
 from repro.config.objects import NetworkConfig
 from repro.config.parser import parse_config, parse_device_config
-from repro.core.options import OptimizationFlags, PlanktonOptions
+from repro.core.options import PlanktonOptions
 from repro.core.verifier import Plankton
 from repro.dataplane.forwarding import trace_paths
 from repro.engine import BACKEND_CHOICES
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServerProtocolError, ServiceUnavailable, SpecError
 from repro.netaddr import Prefix, ip_to_int
 from repro.pec.classes import compute_pecs
 from repro.pec.dependencies import build_dependency_graph
-from repro.policies import (
-    BlackHoleFreedom,
-    BoundedPathLength,
-    LoopFreedom,
-    MultipathConsistency,
-    PathConsistency,
-    Policy,
-    Reachability,
-    Segmentation,
-    Waypoint,
-)
+from repro.policies import LoopFreedom, Policy
 from repro.topology.io import load_topology
 
 #: Exit codes (documented in ``docs/cli.md``).  A *partial* result — every
@@ -96,6 +93,10 @@ from repro.topology.io import load_topology
 EXIT_HOLDS = 0
 EXIT_VIOLATION = 1
 EXIT_ERROR = 2
+#: ``--server`` mode only: the verification server could not be reached or
+#: answered unintelligibly.  Distinct from ``EXIT_ERROR`` so CI gates can
+#: tell "the check failed" from "the checking infrastructure failed".
+EXIT_UNAVAILABLE = 3
 
 
 class CliError(ReproError):
@@ -167,68 +168,62 @@ def _parse_destination_prefix(value: Optional[str]) -> Optional[Prefix]:
         raise CliError(f"bad destination prefix {value!r}: {exc}") from exc
 
 
+def _policy_spec(args: argparse.Namespace) -> Dict[str, object]:
+    """The wire-format policy spec of the ``--policy`` flags.
+
+    In local mode the spec is materialised immediately via
+    :func:`repro.serve.specs.policy_from_spec`; in ``--server`` mode it is
+    shipped verbatim, so both paths construct the policy identically.
+    """
+    spec: Dict[str, object] = {"policy": args.policy}
+    if args.sources:
+        spec["sources"] = _split_list(args.sources)
+    if args.waypoints:
+        spec["waypoints"] = _split_list(args.waypoints)
+    protected = _split_list(getattr(args, "protected", None))
+    if protected:
+        spec["protected"] = protected
+    if args.destination_prefix:
+        spec["destination_prefix"] = args.destination_prefix
+    if getattr(args, "max_hops", None) is not None:
+        spec["max_hops"] = args.max_hops
+    if getattr(args, "any_branch", False):
+        spec["any_branch"] = True
+    return spec
+
+
 def _build_policy(args: argparse.Namespace, network: NetworkConfig) -> Policy:
     """Instantiate the policy selected by ``--policy`` and its options."""
-    sources = _split_list(args.sources)
-    waypoints = _split_list(args.waypoints)
-    destination = _parse_destination_prefix(args.destination_prefix)
-    for name in sources + waypoints:
-        if name not in network.topology:
-            raise CliError(f"unknown device {name!r} in --sources/--waypoints")
+    from repro.serve.specs import policy_from_spec
 
-    protected = _split_list(getattr(args, "protected", None))
-    for name in protected:
-        if name not in network.topology:
-            raise CliError(f"unknown device {name!r} in --protected")
+    try:
+        return policy_from_spec(_policy_spec(args), network)
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
 
-    kind = args.policy
-    if kind == "segmentation":
-        if not sources or not protected:
-            raise CliError("--policy segmentation requires --sources and --protected")
-        return Segmentation(sources=sources, protected=protected, destination_prefix=destination)
-    if kind == "reachability":
-        return Reachability(
-            sources=sources or None,
-            destination_prefix=destination,
-            require_all_branches=not args.any_branch,
-        )
-    if kind == "loop":
-        return LoopFreedom(destination_prefix=destination)
-    if kind == "blackhole":
-        return BlackHoleFreedom(
-            destination_prefix=destination,
-            only_on_paths_from=sources or None,
-        )
-    if kind == "waypoint":
-        if not sources or not waypoints:
-            raise CliError("--policy waypoint requires --sources and --waypoints")
-        return Waypoint(sources=sources, waypoints=waypoints, destination_prefix=destination)
-    if kind == "bounded-path-length":
-        if args.max_hops is None:
-            raise CliError("--policy bounded-path-length requires --max-hops")
-        return BoundedPathLength(
-            max_hops=args.max_hops, sources=sources or None, destination_prefix=destination
-        )
-    if kind == "multipath-consistency":
-        return MultipathConsistency(sources=sources or None, destination_prefix=destination)
-    if kind == "path-consistency":
-        if len(sources) < 2:
-            raise CliError("--policy path-consistency requires at least two --sources devices")
-        return PathConsistency(device_group=sources, destination_prefix=destination)
-    raise CliError(f"unknown policy {kind!r}")
+
+def _options_spec(args: argparse.Namespace) -> Dict[str, object]:
+    """The wire-format options spec of the engine flags (shared local/remote)."""
+    spec: Dict[str, object] = {
+        "max_failures": args.max_failures,
+        "cores": args.cores,
+        "backend": args.backend,
+        "stop_at_first_violation": not args.all_violations,
+        "task_timeout": args.task_timeout,
+        "task_retries": args.task_retries,
+    }
+    if getattr(args, "no_optimizations", False):
+        spec["no_optimizations"] = True
+    return spec
 
 
 def _build_options(args: argparse.Namespace) -> PlanktonOptions:
-    flags = OptimizationFlags.none_enabled() if args.no_optimizations else OptimizationFlags()
-    return PlanktonOptions(
-        max_failures=args.max_failures,
-        cores=args.cores,
-        backend=args.backend,
-        stop_at_first_violation=not args.all_violations,
-        optimizations=flags,
-        task_timeout=args.task_timeout,
-        task_retries=args.task_retries,
-    )
+    from repro.serve.specs import options_from_spec
+
+    try:
+        return options_from_spec(_options_spec(args))
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
 
 
 # --------------------------------------------------------------------------- subcommands
@@ -284,7 +279,167 @@ def _verify_exit_code(result) -> int:
     return EXIT_HOLDS
 
 
+# --------------------------------------------------------------------------- server mode
+_VERDICT_EXIT_CODES = {"holds": EXIT_HOLDS, "violated": EXIT_VIOLATION, "partial": EXIT_ERROR}
+
+
+def _remote_client(args: argparse.Namespace):
+    from repro.client import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _remote_namespace(args: argparse.Namespace) -> str:
+    return getattr(args, "namespace", None) or "default"
+
+
+def _network_payload(args: argparse.Namespace) -> Dict[str, object]:
+    """The full-config push payload of ``--topology`` + ``--config``/``--config-dir``.
+
+    The topology file may be DSL text or JSON; it is normalised through the
+    regular loader and re-serialised so the server always receives canonical
+    topology text.
+    """
+    from repro.topology.io import format_topology
+
+    topology_text = format_topology(load_topology(args.topology))
+    if getattr(args, "config", None):
+        return {"topology": topology_text, "config": FilePath(args.config).read_text()}
+    if getattr(args, "config_dir", None):
+        directory = FilePath(args.config_dir)
+        if not directory.is_dir():
+            raise CliError(f"--config-dir {directory} is not a directory")
+        config_files = sorted(directory.glob("*.cfg"))
+        if not config_files:
+            raise CliError(f"no *.cfg files in {directory}")
+        sections = [
+            f"device {config_file.stem}\n{config_file.read_text()}"
+            for config_file in config_files
+        ]
+        return {"topology": topology_text, "config": "\n".join(sections)}
+    raise CliError("one of --config or --config-dir is required")
+
+
+def _remote_result(args: argparse.Namespace, payload: Dict[str, object]) -> Dict[str, object]:
+    """Push one job and wait for its result payload; failed jobs raise."""
+    document = _remote_client(args).run(_remote_namespace(args), payload)
+    if document.get("state") == "failed":
+        raise CliError(f"server job {document.get('job')} failed: {document.get('error')}")
+    result = document.get("result")
+    if not isinstance(result, dict):
+        raise ServerProtocolError(
+            f"finished job {document.get('job')} carries no result payload"
+        )
+    return result
+
+
+def _write_remote_report(path: str, result: Dict[str, object]) -> None:
+    """Mirror :func:`repro.reporting.write_report`'s suffix dispatch using the
+    server-rendered report documents."""
+    file_path = FilePath(path)
+    if file_path.suffix.lower() == ".json":
+        file_path.write_text(json.dumps(result["report"], indent=2) + "\n")
+    else:
+        file_path.write_text(str(result["markdown"]))
+
+
+def _print_remote_result(args: argparse.Namespace, result: Dict[str, object]) -> int:
+    if args.report:
+        _write_remote_report(args.report, result)
+    if args.json:
+        print(json.dumps(result["document"], indent=2))
+    else:
+        print(result["text"])
+    return _VERDICT_EXIT_CODES.get(str(result.get("verdict")), EXIT_ERROR)
+
+
+def _remote_verify(args: argparse.Namespace) -> int:
+    payload = dict(_network_payload(args))
+    payload.update(
+        {"kind": "verify", "policies": [_policy_spec(args)], "options": _options_spec(args)}
+    )
+    return _print_remote_result(args, _remote_result(args, payload))
+
+
+def _remote_diff_verify(args: argparse.Namespace) -> int:
+    from repro.topology.io import format_topology
+
+    topology_text = format_topology(load_topology(args.topology))
+    common = {"kind": "verify", "policies": [_policy_spec(args)], "options": _options_spec(args)}
+    old_payload = dict(common, topology=topology_text, config=FilePath(args.old_config).read_text())
+    new_payload = dict(common, topology=topology_text, config=FilePath(args.new_config).read_text())
+
+    old_result = _remote_result(args, old_payload)
+    new_result = _remote_result(args, new_payload)
+    delta_summary = new_result.get("delta", "no configuration changes")
+
+    if args.report:
+        _write_remote_report(args.report, new_result)
+    if args.json:
+        document = {
+            "old": old_result["document"],
+            "new": new_result["document"],
+            "delta": delta_summary,
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        old_lines = str(old_result["text"]).splitlines()
+        print(f"old configuration: {old_lines[0] if old_lines else ''}")
+        print()
+        print(f"config delta: {delta_summary}")
+        print()
+        new_text = str(new_result["text"]).splitlines()
+        if new_text:
+            print(f"new configuration: {new_text[0]}")
+            for line in new_text[1:]:
+                print(line)
+    return _VERDICT_EXIT_CODES.get(str(new_result.get("verdict")), EXIT_ERROR)
+
+
+def _remote_transient(args: argparse.Namespace) -> int:
+    payload = dict(_network_payload(args))
+    payload.update(
+        {
+            "kind": "transient",
+            "options": _options_spec(args),
+            "transient": _transient_spec(args),
+            "property": _transient_property_spec(args),
+        }
+    )
+    if args.fail_session:
+        payload["fail_session"] = args.fail_session
+    if args.scenario:
+        payload["scenarios"] = list(args.scenario)
+    if args.destination_prefix:
+        payload["destination_prefix"] = args.destination_prefix
+    return _print_remote_result(args, _remote_result(args, payload))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification service until SIGTERM/SIGINT/Ctrl-C."""
+    import signal
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+    )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _signum, _frame: server.request_stop())
+    # Announce the bound address (port 0 binds an ephemeral port) before
+    # blocking, so wrappers can scrape the URL from the first stdout line.
+    print(f"repro serve listening on {server.url}", flush=True)
+    server.serve_forever()
+    return EXIT_HOLDS
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_verify(args)
     network = _load_network(args)
     policy = _build_policy(args, network)
     options = _build_options(args)
@@ -307,6 +462,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff_verify(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_diff_verify(args)
     from repro.incremental import IncrementalVerifier
 
     old_network = parse_config(load_topology(args.topology), FilePath(args.old_config).read_text())
@@ -355,128 +512,66 @@ def _cmd_diff_verify(args: argparse.Namespace) -> int:
 
 
 def _parse_scenario(spec: str, network):
-    """Parse one ``--scenario`` value into a lifecycle :class:`Scenario`.
+    """Parse one ``--scenario`` value into a lifecycle :class:`Scenario`
+    (delegates to the shared wire-format parser in :mod:`repro.serve.specs`)."""
+    from repro.serve.specs import scenario_from_spec
 
-    A spec is ``+``-separated event parts, each ``KIND:ARGS``: ``crash:NODE``,
-    ``restart:NODE``, ``drain:NODE``, ``return:NODE``, ``maintenance:NODE``
-    (drain, settle, return), ``flap:A,B``, ``gray:EXPORTER,IMPORTER``.  The
-    scenario converges first, then stages the events in order.
-    """
-    from repro.scenarios import (
-        Converge,
-        FlapStorm,
-        GrayFailure,
-        MaintenanceDrain,
-        NodeCrash,
-        NodeRestart,
-        ReturnToService,
-        Scenario,
-    )
+    try:
+        return scenario_from_spec(spec, network)
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
 
-    node_events = {
-        "crash": NodeCrash,
-        "restart": NodeRestart,
-        "drain": MaintenanceDrain,
-        "return": ReturnToService,
+
+def _transient_spec(args: argparse.Namespace) -> Dict[str, object]:
+    """The wire-format transient-options spec of the exploration flags."""
+    spec: Dict[str, object] = {
+        "max_states": args.max_states,
+        "max_depth": args.max_depth,
+        "stop_at_first_violation": not args.all_violations,
+        "por": args.por,
+        "frontier": args.frontier,
+        "minimize_witnesses": args.minimize_witness,
+        "rank_immunity": not args.no_rank_immunity,
+        "scenario_events": args.scenario_events,
     }
-    events = []
-    for part in (piece.strip() for piece in spec.split("+")):
-        kind, sep, rest = part.partition(":")
-        kind = kind.strip()
-        rest = rest.strip()
-        if not sep or not rest:
-            raise CliError(
-                f"malformed --scenario part {part!r}; expected KIND:ARGS "
-                "(e.g. crash:node or gray:a,b)"
-            )
-        if kind in node_events or kind == "maintenance":
-            if rest not in network.topology:
-                raise CliError(f"unknown device {rest!r} in --scenario")
-            if kind == "maintenance":
-                events.extend(
-                    (MaintenanceDrain(rest), Converge(), ReturnToService(rest))
-                )
-            else:
-                events.append(node_events[kind](rest))
-        elif kind in ("flap", "gray"):
-            endpoints = _split_list(rest)
-            if len(endpoints) != 2:
-                raise CliError(
-                    f"--scenario {kind} expects two devices, e.g. {kind}:a,b"
-                )
-            for name in endpoints:
-                if name not in network.topology:
-                    raise CliError(f"unknown device {name!r} in --scenario")
-            if kind == "flap":
-                events.append(FlapStorm(sessions=((endpoints[0], endpoints[1]),)))
-            else:
-                events.append(GrayFailure(endpoints[0], endpoints[1]))
-        else:
-            raise CliError(
-                f"unknown --scenario kind {kind!r}; choose from crash, restart, "
-                "drain, return, maintenance, flap, gray"
-            )
-    return Scenario(events=(Converge(),) + tuple(events), name=spec)
+    if args.scenario_kinds:
+        spec["scenario_kinds"] = args.scenario_kinds
+    return spec
+
+
+def _transient_property_spec(args: argparse.Namespace) -> Dict[str, object]:
+    """The wire-format transient-property spec of ``--property`` et al."""
+    spec: Dict[str, object] = {"property": args.property}
+    if args.sources:
+        spec["sources"] = _split_list(args.sources)
+    if args.include_converged:
+        spec["include_converged"] = True
+    return spec
 
 
 def _cmd_transient(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_transient(args)
+
     from repro.incremental import IncrementalVerifier
-    from repro.transient import (
-        Converge,
-        FailSession,
-        TransientBlackHoleFreedom,
-        TransientLoopFreedom,
-        TransientOptions,
+    from repro.serve.specs import (
+        fail_session_events,
+        scenarios_from_specs,
+        transient_options_from_spec,
+        transient_property_from_spec,
     )
 
     network = _load_network(args)
-    sources = _split_list(args.sources)
-    for name in sources:
-        if name not in network.topology:
-            raise CliError(f"unknown device {name!r} in --sources")
-    if args.property == "blackhole":
-        prop = TransientBlackHoleFreedom(sources=sources or None)
-    else:
-        prop = TransientLoopFreedom(ignore_converged=not args.include_converged)
-
-    initial_events = []
-    if args.fail_session:
-        endpoints = _split_list(args.fail_session.replace(":", ","))
-        if len(endpoints) != 2:
-            raise CliError("--fail-session expects two devices, e.g. a,b")
-        for name in endpoints:
-            if name not in network.topology:
-                raise CliError(f"unknown device {name!r} in --fail-session")
-        initial_events = [Converge(), FailSession(endpoints[0], endpoints[1])]
-
-    scenarios = None
-    if args.scenario:
-        scenarios = [_parse_scenario(spec, network) for spec in args.scenario]
+    options = _build_options(args)
+    try:
+        prop = transient_property_from_spec(_transient_property_spec(args), network)
+        initial_events = fail_session_events(args.fail_session, network)
+        scenarios = scenarios_from_specs(args.scenario, network)
+        transient_options = transient_options_from_spec(_transient_spec(args))
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
 
     destination = _parse_destination_prefix(args.destination_prefix)
-    stop_at_first = not args.all_violations
-    options = PlanktonOptions(
-        max_failures=args.max_failures,
-        cores=args.cores,
-        backend=args.backend,
-        stop_at_first_violation=stop_at_first,
-        task_timeout=args.task_timeout,
-        task_retries=args.task_retries,
-    )
-    try:
-        transient_options = TransientOptions(
-            max_states=args.max_states,
-            max_depth=args.max_depth,
-            stop_at_first_violation=stop_at_first,
-            por=args.por,
-            frontier=args.frontier,
-            minimize_witnesses=args.minimize_witness,
-            rank_immunity=not args.no_rank_immunity,
-            scenario_events=args.scenario_events,
-            scenario_kinds=tuple(_split_list(args.scenario_kinds)),
-        )
-    except ValueError as exc:
-        raise CliError(str(exc))
 
     service = IncrementalVerifier(
         network, options, cache_dir=getattr(args, "cache_dir", None) or None
@@ -720,6 +815,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         help="directory for the persistent incremental result cache (warm restarts)",
     )
+    parser.add_argument(
+        "--server",
+        help=(
+            "run against a repro serve instance at this URL instead of "
+            "in-process (e.g. http://127.0.0.1:8080); exit code 3 when the "
+            "server is unreachable"
+        ),
+    )
+    parser.add_argument(
+        "--namespace",
+        default=None,
+        help="server namespace (warm session) to push into (default: 'default')",
+    )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     parser.add_argument(
         "--report",
@@ -861,6 +969,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(transient)
     transient.set_defaults(handler=_cmd_transient)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived verification service (warm incremental sessions over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 binds an ephemeral port)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="root directory for per-namespace persistent result caches",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="verification worker threads (default: 2)"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission control: maximum queued jobs before pushes get HTTP 429",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     pecs = subparsers.add_parser("pecs", help="show packet equivalence classes and dependencies")
     _add_input_arguments(pecs)
     pecs.set_defaults(handler=_cmd_pecs)
@@ -888,6 +1019,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _configure_logging(args.verbose)
     try:
         return int(args.handler(args))
+    except (ServiceUnavailable, ServerProtocolError) as exc:
+        # Transport-layer failures get their own exit code so CI can tell
+        # "the check failed" apart from "the checking service failed".
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
     except (CliError, ReproError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -53,6 +53,30 @@ class SolverError(ReproError):
     """The SAT solver or an encoding built on it was used incorrectly."""
 
 
+class SpecError(ReproError):
+    """A wire-format request spec (policy/options/scenario dict) is invalid.
+
+    Raised by :mod:`repro.serve.specs` when a verification request arriving
+    over the service API (or built by the CLI for the ``--server`` path)
+    names unknown policies, devices, or option values.  Maps to HTTP 400 on
+    the server and to a failed job with a clear message on the client.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for verification-service (client/server) failures."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The verification server could not be reached at all (connection
+    refused, DNS failure, timeout before any HTTP response)."""
+
+
+class ServerProtocolError(ServiceError):
+    """The server answered, but unusably: an HTTP 5xx, or a response body
+    that is not the JSON document the API promises."""
+
+
 class SearchBudgetExceeded(VerificationError):
     """An exploration exceeded its configured state or time budget."""
 

@@ -32,7 +32,9 @@ from repro.incremental.service import (
     IncrementalRunStats,
     IncrementalVerifier,
     result_signature,
+    result_signature_digest,
     transient_campaign_signature,
+    transient_campaign_signature_digest,
 )
 
 __all__ = [
@@ -47,5 +49,7 @@ __all__ = [
     "IncrementalRunStats",
     "IncrementalVerifier",
     "result_signature",
+    "result_signature_digest",
     "transient_campaign_signature",
+    "transient_campaign_signature_digest",
 ]

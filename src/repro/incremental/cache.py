@@ -617,6 +617,11 @@ class ResultCache:
             try:
                 with handle:
                     handle.write(document)
+                    # Force the payload to stable storage before the rename:
+                    # a crash (or SIGKILL) between replace and writeback must
+                    # not leave the *new* name pointing at torn contents.
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(handle.name, target)
             except BaseException:
                 try:

@@ -246,6 +246,18 @@ def result_signature(result: VerificationResult) -> Tuple:
     )
 
 
+def result_signature_digest(result: VerificationResult) -> str:
+    """A process-stable hex digest of :func:`result_signature`.
+
+    The signature tuple itself contains live objects; the digest travels
+    over the service API so a client (or test) can assert bit-identity with
+    an in-process cold verify without shipping the objects.
+    """
+    import hashlib
+
+    return hashlib.sha256(repr(result_signature(result)).encode("utf-8")).hexdigest()
+
+
 def transient_campaign_signature(campaign) -> Tuple:
     """Wall-clock-free signature of a transient campaign (oracle tests)."""
     return (
@@ -261,6 +273,15 @@ def transient_campaign_signature(campaign) -> Tuple:
             for run in campaign.runs
         ),
     )
+
+
+def transient_campaign_signature_digest(campaign) -> str:
+    """Hex digest of :func:`transient_campaign_signature` (service API)."""
+    import hashlib
+
+    return hashlib.sha256(
+        repr(transient_campaign_signature(campaign)).encode("utf-8")
+    ).hexdigest()
 
 
 # --------------------------------------------------------------------------- the service
@@ -325,6 +346,25 @@ class IncrementalVerifier:
     def save(self):
         """Persist the cache (no-op for memory-only caches)."""
         return self.cache.save()
+
+    def with_options(self, options: PlanktonOptions) -> "IncrementalVerifier":
+        """A session over the same network with different engine options.
+
+        The warm state survives: the cache object (and its disk binding),
+        the last delta and the pending impact-dirty PEC sets all carry over;
+        only the :class:`Plankton` facade is rebuilt, since its task
+        expansion depends on the options.  Used by the serve daemon when a
+        tenant's push changes options mid-session — result correctness is
+        carried by the fingerprints (which cover the result-shaping option
+        fields), so reusing the cache across an options change is safe: a
+        result-shaping change misses, an execution-only change hits.
+        """
+        fresh = IncrementalVerifier(self.network, options, cache=self.cache)
+        fresh.last_delta = self.last_delta
+        fresh._impact_pending = {
+            kind: set(indices) for kind, indices in self._impact_pending.items()
+        }
+        return fresh
 
     # ------------------------------------------------------------------ verification
     def verify(self, policies: Union[Policy, Sequence[Policy]]) -> VerificationResult:

@@ -16,6 +16,7 @@ The CLI's ``verify --report FILE`` option uses these helpers.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path as FilePath
 from typing import Dict, List, Optional, Union
 
@@ -317,6 +318,82 @@ def render_transient_markdown(campaign, title: Optional[str] = None) -> str:
         lines.append("")
     _append_task_failures(lines, campaign_errors)
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- service documents
+def verify_document(result: VerificationResult, policy_name: str) -> Dict[str, object]:
+    """The compact ``verify --json`` document of one verification result.
+
+    Shared by the CLI's local path and the ``repro serve`` job executor so a
+    remote ``--json`` run is byte-identical to the in-process one.
+    """
+    document: Dict[str, object] = {
+        "holds": result.holds,
+        "policy": policy_name,
+        "pecs_analyzed": result.pecs_analyzed,
+        "failure_scenarios": result.failure_scenarios,
+        "converged_states": result.total_converged_states,
+        "states_expanded": result.total_states_expanded,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "violations": [
+            {
+                "policy": violation.policy,
+                "pec": violation.pec_description,
+                "failures": violation.failure_description,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    if result.incremental is not None:
+        document["incremental"] = result.incremental.as_dict()
+    if result.errors:
+        document["complete"] = False
+        document["errors"] = [failure.as_dict() for failure in result.errors]
+    return document
+
+
+def job_to_dict(job) -> Dict[str, object]:
+    """The ``GET /v1/jobs/{id}`` document of one :class:`repro.serve.Job`.
+
+    Duck-typed (no serve import) so client-side tooling can render job
+    documents without pulling the server package into the process.
+    """
+    document: Dict[str, object] = {
+        "job": job.id,
+        "namespace": job.namespace,
+        "kind": job.kind,
+        "state": job.state,
+        "sequence": job.sequence,
+        "created_at": job.created_at,
+    }
+    if job.started_at is not None:
+        document["started_at"] = job.started_at
+        finished = job.finished_at
+        document["elapsed_seconds"] = round(
+            (finished if finished is not None else time.time()) - job.started_at, 6
+        )
+    if job.finished_at is not None:
+        document["finished_at"] = job.finished_at
+    if job.error is not None:
+        document["error"] = job.error
+    if job.result is not None:
+        document["result"] = job.result
+    return document
+
+
+def metrics_to_dict(metrics) -> Dict[str, object]:
+    """The ``GET /metrics`` document of a
+    :class:`repro.serve.metrics.ServerMetrics` instance (duck-typed)."""
+    return {
+        "uptime_seconds": round(metrics.uptime_seconds(), 3),
+        "jobs_submitted": metrics.jobs_submitted,
+        "jobs_rejected": metrics.jobs_rejected,
+        "namespaces": {
+            name: counters.as_dict()
+            for name, counters in metrics.namespace_counters().items()
+        },
+    }
 
 
 # --------------------------------------------------------------------------- files

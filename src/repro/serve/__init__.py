@@ -1,0 +1,44 @@
+"""Verification-as-a-service: the ``repro serve`` daemon.
+
+A long-running, stdlib-only HTTP service holding *warm* verification
+sessions: per-namespace :class:`~repro.incremental.IncrementalVerifier`
+instances that keep the parsed :class:`~repro.config.objects.NetworkConfig`,
+the PEC partition/dependency graph, and the fingerprint-keyed result cache
+resident between configuration pushes.  A push of a one-device delta then
+re-verifies only the dirty PECs — the service amortises process startup,
+config parsing, and cache deserialisation across every push of a tenant's
+change stream.
+
+Layering:
+
+* :mod:`repro.serve.specs` — wire-format spec dicts → engine objects
+  (policies, options, scenarios, networks); shared with the CLI's local path
+  so the two construction paths cannot drift;
+* :mod:`repro.serve.registry` — named namespace sessions + per-namespace
+  cache directories (the tenancy model);
+* :mod:`repro.serve.jobs` — the job model, the admission-controlled
+  per-namespace-FIFO queue, and job execution;
+* :mod:`repro.serve.metrics` — per-namespace counters behind ``/metrics``;
+* :mod:`repro.serve.http` — the :class:`ReproServer` daemon and its JSON API.
+
+The thin client lives outside this package (:mod:`repro.client`) so that
+client-only processes never import the engine.
+"""
+
+from repro.serve.http import ReproServer
+from repro.serve.jobs import JOB_KINDS, JOB_STATES, Job, JobQueue, QueueFull
+from repro.serve.metrics import NamespaceCounters, ServerMetrics
+from repro.serve.registry import NamespaceSession, SessionRegistry
+
+__all__ = [
+    "ReproServer",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "NamespaceCounters",
+    "ServerMetrics",
+    "NamespaceSession",
+    "SessionRegistry",
+]

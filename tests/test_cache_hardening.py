@@ -10,6 +10,9 @@ the same seeded harness the engine fault tests use.
 
 import json
 import multiprocessing
+import os
+import signal
+import time
 
 import pytest
 
@@ -158,9 +161,54 @@ class TestConcurrentWriters:
         assert document["schema_version"] == CACHE_SCHEMA_VERSION
 
 
+class TestKillDuringSave:
+    def test_sigkill_mid_save_never_leaves_a_torn_file(self, tmp_path):
+        """The service-shutdown property: SIGKILL at an arbitrary point of a
+        save (temp-file write, fsync, rename) must leave the *previous*
+        complete generation on disk — the loader never sees a torn file."""
+        cache_file = tmp_path / "plankton_cache.json"
+        seed = ResultCache()
+        for index in range(50):
+            seed.store(f"fingerprint-{index}", {"generation": -1, "index": index})
+        seed.save(cache_file)
+
+        for attempt in range(6):
+            process = multiprocessing.Process(
+                target=_save_forever, args=(str(cache_file),)
+            )
+            process.start()
+            # Vary the kill point so different attempts land in different
+            # phases of the write/fsync/rename sequence.
+            time.sleep(0.01 + attempt * 0.017)
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=30)
+            assert process.exitcode == -signal.SIGKILL
+
+            cache = _reload(cache_file)
+            assert len(cache) == 50  # some complete generation, never torn
+            document = json.loads(cache_file.read_text())
+            assert document["schema_version"] == CACHE_SCHEMA_VERSION
+
+        # A later clean save still works (no leaked lock, no wedged state).
+        seed.save(cache_file)
+        assert len(_reload(cache_file)) == 50
+
+
 def _hammer_save(path, worker):
     cache = ResultCache()
     for index in range(50):
         cache.store(f"fingerprint-{index}", {"worker": worker, "index": index})
     for _ in range(20):
+        cache.save(path)
+
+
+def _save_forever(path):
+    """Child body for the SIGKILL test: rewrite the cache as fast as possible
+    with a per-generation payload until killed."""
+    cache = ResultCache()
+    generation = 0
+    while True:
+        generation += 1
+        for index in range(50):
+            cache.store(f"fingerprint-{index}", {"generation": generation, "index": index})
         cache.save(path)

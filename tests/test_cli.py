@@ -592,3 +592,133 @@ class TestDiffVerifyCommand:
         ])
         text = report.read_text()
         assert "PECs served from cache" in text or "PECs recomputed" in text
+
+
+class TestServerMode:
+    """``--server URL``: the CLI as a thin client of ``repro serve``.
+
+    Parity tests run a real in-thread server; failure-mode tests use stub
+    HTTP servers so each transport failure maps to exit code 3
+    (:data:`repro.cli.EXIT_UNAVAILABLE`) — distinct from both "policy
+    violated" (1) and "bad input" (2).
+    """
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.serve import ReproServer
+
+        instance = ReproServer(port=0, workers=1).start()
+        yield instance
+        instance.stop()
+
+    def _verify_args(self, workspace, config, extra=()):
+        return [
+            "verify", "--topology", workspace / "net.topo", "--config", workspace / config,
+            "--policy", "loop", *extra,
+        ]
+
+    def test_remote_json_document_matches_local(self, workspace, server, capsys):
+        assert _run(self._verify_args(workspace, "good.cfg", ["--json"])) == EXIT_HOLDS
+        local = json.loads(capsys.readouterr().out)
+        code = _run(self._verify_args(
+            workspace, "good.cfg",
+            ["--json", "--server", server.url, "--namespace", "cli-parity"],
+        ))
+        remote = json.loads(capsys.readouterr().out)
+        assert code == EXIT_HOLDS
+        for key in ("holds", "policy", "pecs_analyzed", "failure_scenarios",
+                    "converged_states", "states_expanded", "violations"):
+            assert remote[key] == local[key], key
+
+    def test_remote_violation_maps_to_exit_1(self, workspace, server, capsys):
+        code = _run(self._verify_args(
+            workspace, "looping.cfg", ["--server", server.url, "--namespace", "cli-loop"],
+        ))
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATION
+        assert "VIOLATED" in out
+        assert "forwarding loop" in out
+
+    def test_remote_report_file_is_written(self, workspace, server, tmp_path):
+        report = tmp_path / "remote.json"
+        code = _run(self._verify_args(
+            workspace, "good.cfg",
+            ["--server", server.url, "--namespace", "cli-report", "--report", report],
+        ))
+        assert code == EXIT_HOLDS
+        assert json.loads(report.read_text())["holds"] is True
+
+    def test_unreachable_server_exits_3(self, workspace, capsys):
+        # A closed port on localhost: connection refused, never a real server.
+        code = _run(self._verify_args(
+            workspace, "good.cfg", ["--server", "http://127.0.0.1:1"],
+        ))
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "cannot reach verification server" in captured.err
+
+    @staticmethod
+    def _stub_server(handler_class):
+        """A one-purpose HTTP server on an ephemeral port; returns (httpd, url)."""
+        import threading
+        from http.server import ThreadingHTTPServer
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), handler_class)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        return httpd, f"http://127.0.0.1:{httpd.server_address[1]}"
+
+    def test_http_500_exits_3(self, workspace, capsys):
+        from http.server import BaseHTTPRequestHandler
+
+        class Erroring(BaseHTTPRequestHandler):
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", "0")))
+                body = b'{"error": "internal splat"}'
+                self.send_response(500)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        httpd, url = self._stub_server(Erroring)
+        try:
+            code = _run(self._verify_args(workspace, "good.cfg", ["--server", url]))
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "server error 500" in captured.err
+
+    def test_non_json_body_exits_3(self, workspace, capsys):
+        from http.server import BaseHTTPRequestHandler
+
+        class Garbling(BaseHTTPRequestHandler):
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", "0")))
+                body = b"<html>this is not the API you are looking for</html>"
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        httpd, url = self._stub_server(Garbling)
+        try:
+            code = _run(self._verify_args(workspace, "good.cfg", ["--server", url]))
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "non-JSON" in captured.err
+
+    def test_serve_help_lists_service_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--workers", "3"])
+        assert args.port == 0
+        assert args.workers == 3

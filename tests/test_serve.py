@@ -1,0 +1,407 @@
+"""End-to-end tests of the ``repro serve`` daemon and its thin client.
+
+The acceptance property throughout: a verdict obtained over HTTP from a warm
+server session is **bit-identical** (via the wall-clock-free result
+signatures) to the one an in-process cold run produces — the service changes
+where verification runs, never what it computes.  On top of that, the
+tenancy mechanics: warm second pushes re-verify only dirty PECs, concurrent
+pushes to one namespace serialise in push order, admission control bounds
+the queue, and every HTTP error path answers with a meaningful status.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client import ServiceClient, ServiceError
+from repro.config.parser import parse_config
+from repro.core.verifier import Plankton
+from repro.incremental import (
+    IncrementalVerifier,
+    result_signature_digest,
+    transient_campaign_signature_digest,
+)
+from repro.serve import ReproServer
+from repro.serve.specs import (
+    fail_session_events,
+    network_from_payload,
+    options_from_spec,
+    policy_from_spec,
+    transient_options_from_spec,
+    transient_property_from_spec,
+)
+from repro.topology.io import parse_topology
+
+TOPOLOGY_TEXT = """
+topology square
+node o role edge
+node m role core
+node a role core
+node b role core
+link o m weight 10
+link m a weight 10
+link m b weight 10
+link a b weight 10
+"""
+
+#: Two BGP PECs (10.8/24, 10.9/24) and a route-map on m matching only the
+#: 10.9/24 prefix — so a local-preference edit dirties exactly one PEC.
+#: The unattached LP_CEILING map pins m's device-wide maximum local-pref
+#: (a §4.1.2 bound folded into *every* PEC's fingerprint) so the clause-10
+#: edit below stays invisible to the 10.8/24 PEC.
+CONFIG_TEXT = """
+device o
+  bgp 65000
+    network 10.9.0.0/24
+    network 10.8.0.0/24
+    neighbor m remote-as 65001
+device m
+  bgp 65001
+    neighbor o remote-as 65000 import-map FROM_O
+    neighbor a remote-as 65002
+    neighbor b remote-as 65003
+  route-map FROM_O permit 10
+    match prefix 10.9.0.0/24
+    set local-preference 120
+  route-map FROM_O permit 20
+  route-map LP_CEILING permit 10
+    set local-preference 200
+device a
+  bgp 65002
+    neighbor m remote-as 65001
+    neighbor b remote-as 65003
+device b
+  bgp 65003
+    neighbor m remote-as 65001
+    neighbor a remote-as 65002
+"""
+
+#: Overlay for device m bumping the 10.9/24 local-preference (120 -> 150).
+EDIT_M_OVERLAY = """
+  bgp 65001
+    neighbor o remote-as 65000 import-map FROM_O
+    neighbor a remote-as 65002
+    neighbor b remote-as 65003
+  route-map FROM_O permit 10
+    match prefix 10.9.0.0/24
+    set local-preference 150
+  route-map FROM_O permit 20
+  route-map LP_CEILING permit 10
+    set local-preference 200
+"""
+
+#: Overlay for device a dropping the a-b session (a different single-device
+#: edit, used by the concurrent-push test).
+EDIT_A_OVERLAY = """
+  bgp 65002
+    neighbor m remote-as 65001
+    neighbor b remote-as 65003 weight 7
+"""
+
+POLICY_SPEC = {"policy": "loop"}
+OPTIONS_SPEC = {"max_failures": 1}
+
+VERIFY_PAYLOAD = {
+    "kind": "verify",
+    "topology": TOPOLOGY_TEXT,
+    "config": CONFIG_TEXT,
+    "policies": [POLICY_SPEC],
+    "options": OPTIONS_SPEC,
+}
+
+
+def base_network():
+    return parse_config(parse_topology(TOPOLOGY_TEXT), CONFIG_TEXT)
+
+
+def cold_signature(network, policy_spec=POLICY_SPEC, options_spec=OPTIONS_SPEC):
+    """The in-process oracle: a cold verify of ``network`` through the same
+    spec-constructed policy/options the server uses."""
+    options = options_from_spec(options_spec)
+    policy = policy_from_spec(policy_spec, network)
+    return result_signature_digest(Plankton(network, options).verify(policy))
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = ReproServer(port=0, workers=2).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestEndToEnd:
+    def test_push_poll_verdict_bit_identical_to_in_process(self, client):
+        document = client.run("e2e", VERIFY_PAYLOAD, timeout=120)
+        assert document["state"] == "done"
+        result = document["result"]
+        assert result["verdict"] == "holds"
+        # The acceptance oracle: signature parity with an in-process cold run.
+        assert result["signature"] == cold_signature(base_network())
+        # The --json document matches the in-process document field-for-field
+        # (elapsed and the incremental section are runtime-dependent).
+        verify_doc = result["document"]
+        assert verify_doc["holds"] is True
+        assert verify_doc["policy"] == "loop-freedom"
+        assert verify_doc["pecs_analyzed"] == 2
+        assert verify_doc["violations"] == []
+        assert verify_doc["incremental"]["pecs_recomputed"] == 2
+
+    def test_warm_second_push_reverifies_only_dirty_pecs(self, client):
+        first = client.run("warm", VERIFY_PAYLOAD, timeout=120)
+        assert first["result"]["verdict"] == "holds"
+
+        second = client.run(
+            "warm",
+            {
+                "kind": "verify",
+                "devices": {"m": EDIT_M_OVERLAY},
+                "policies": [POLICY_SPEC],
+                "options": OPTIONS_SPEC,
+            },
+            timeout=120,
+        )
+        assert second["state"] == "done"
+        incremental = second["result"]["document"]["incremental"]
+        # The route-map edit covers only 10.9/24: one PEC dirty, one warm.
+        assert incremental["pecs_from_cache"] == 1
+        assert incremental["pecs_recomputed"] == 1
+        assert len(incremental["dirty_pecs"]) == 1
+        assert "filter change" in incremental["delta_summary"]
+
+        # Bit-identical to a cold run of the edited configuration.
+        edited = network_from_payload({"devices": {"m": EDIT_M_OVERLAY}}, base_network())
+        assert second["result"]["signature"] == cold_signature(edited)
+
+        info = client.namespace("warm")
+        assert info["pushes"] == 2
+        assert info["warm"] is True
+        assert info["pecs"] == 2
+        assert [entry["push"] for entry in info["delta_history"]] == [1, 2]
+        assert info["delta_history"][1]["devices"] == ["m"]
+
+    def test_transient_job_bit_identical_to_in_process(self, client):
+        payload = {
+            "kind": "transient",
+            "topology": TOPOLOGY_TEXT,
+            "config": CONFIG_TEXT,
+            "options": OPTIONS_SPEC,
+            "transient": {"max_states": 2000},
+            "fail_session": "o,m",
+        }
+        document = client.run("transient-e2e", payload, timeout=240)
+        assert document["state"] == "done"
+        result = document["result"]
+        assert result["verdict"] == "violated"
+
+        network = base_network()
+        service = IncrementalVerifier(network, options_from_spec(OPTIONS_SPEC))
+        campaign = service.verify_transients(
+            [transient_property_from_spec(None, network)],
+            transient=transient_options_from_spec({"max_states": 2000}),
+            initial_events=fail_session_events("o,m", network),
+            pecs=[pec for pec in service.plankton.pecs if pec.has_bgp()],
+        )
+        assert result["signature"] == transient_campaign_signature_digest(campaign)
+        assert result["document"]["holds"] is False
+
+    def test_run_only_push_reuses_current_config(self, client):
+        client.run("rerun", VERIFY_PAYLOAD, timeout=120)
+        document = client.run(
+            "rerun",
+            {"kind": "verify", "policies": [POLICY_SPEC], "options": OPTIONS_SPEC},
+            timeout=120,
+        )
+        incremental = document["result"]["document"]["incremental"]
+        assert incremental["pecs_from_cache"] == 2
+        assert incremental["pecs_recomputed"] == 0
+
+
+class TestConcurrentPushes:
+    def test_two_clients_one_namespace_serialise_in_push_order(self, server):
+        """Two clients race different single-device deltas into one
+        namespace.  The job queue must serialise them in push order, and
+        each result must be bit-identical to a cold verify of the
+        configuration as composed *in the order the server executed* —
+        the edit-oracle property, now across the HTTP boundary."""
+        client = ServiceClient(server.url)
+        base = client.run("race", VERIFY_PAYLOAD, timeout=120)
+        assert base["result"]["verdict"] == "holds"
+
+        overlays = {"m": EDIT_M_OVERLAY, "a": EDIT_A_OVERLAY}
+        receipts = {}
+
+        def racer(device):
+            local_client = ServiceClient(server.url)
+            receipts[device] = local_client.push(
+                "race",
+                {
+                    "kind": "verify",
+                    "devices": {device: overlays[device]},
+                    "policies": [POLICY_SPEC],
+                    "options": OPTIONS_SPEC,
+                },
+            )
+
+        threads = [threading.Thread(target=racer, args=(device,)) for device in overlays]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        finished = {
+            device: client.wait(receipt["job"], timeout=240)
+            for device, receipt in receipts.items()
+        }
+        assert all(doc["state"] == "done" for doc in finished.values())
+
+        # Recover the serialisation order the server actually used, then
+        # compose the deltas in that order for the cold oracles.
+        ordered = sorted(finished.items(), key=lambda item: item[1]["sequence"])
+        assert [doc["sequence"] for _, doc in ordered] == [2, 3]
+
+        network = base_network()
+        for device, document in ordered:
+            network = network_from_payload(
+                {"devices": {device: overlays[device]}}, network
+            )
+            assert document["result"]["signature"] == cold_signature(network), (
+                f"delta push for device {device} diverged from its cold oracle"
+            )
+
+        info = client.namespace("race")
+        assert info["pushes"] == 3
+
+
+class TestAdmissionControl:
+    def test_queue_depth_bound_rejects_with_429(self):
+        instance = ReproServer(port=0, workers=0, queue_depth=1).start()
+        try:
+            client = ServiceClient(instance.url)
+            first = client.push("stall", VERIFY_PAYLOAD)
+            assert first["sequence"] == 1
+            with pytest.raises(ServiceError) as excinfo:
+                client.push("stall", VERIFY_PAYLOAD)
+            assert "full" in str(excinfo.value)
+            assert client.metrics()["jobs_rejected"] == 1
+            # The queued (never-executed) job still reports as queued.
+            assert client.job(first["job"])["state"] == "queued"
+        finally:
+            instance.stop()
+
+
+class TestHttpErrors:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.job("j-999999")
+
+    def test_unknown_namespace_is_404(self, client):
+        with pytest.raises(ServiceError, match="unknown namespace"):
+            client.namespace("never-pushed")
+
+    def test_invalid_namespace_name_is_400(self, client):
+        with pytest.raises(ServiceError, match="bad namespace"):
+            client.push("bad*name", VERIFY_PAYLOAD)
+
+    def test_unknown_job_kind_is_400(self, client):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            client.push("kinds", {"kind": "nonsense"})
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/namespaces/raw/push",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "not valid JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_bad_spec_fails_the_job_not_the_push(self, client):
+        document = client.run(
+            "badspec",
+            {
+                "kind": "verify",
+                "topology": TOPOLOGY_TEXT,
+                "config": CONFIG_TEXT,
+                "policies": [{"policy": "no-such-policy"}],
+            },
+            timeout=120,
+        )
+        assert document["state"] == "failed"
+        assert "unknown policy" in document["error"]
+
+    def test_first_push_without_config_fails_clearly(self, client):
+        document = client.run(
+            "coldstart", {"kind": "verify", "policies": [POLICY_SPEC]}, timeout=120
+        )
+        assert document["state"] == "failed"
+        assert "first push" in document["error"]
+
+
+class TestMetricsAndHealth:
+    def test_health_and_metrics_shape(self, client):
+        client.run("metrics-ns", VERIFY_PAYLOAD, timeout=120)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+
+        metrics = client.metrics()
+        assert metrics["jobs_submitted"] >= 1
+        counters = metrics["namespaces"]["metrics-ns"]
+        assert counters["pushes"] == 1
+        assert counters["jobs_done"] == 1
+        assert counters["pecs_recomputed"] == 2
+        assert counters["states_explored"] > 0
+        assert counters["wall_clock_seconds"] > 0
+        assert "metrics-ns" in client.namespaces()
+
+
+class TestCachePersistence:
+    def test_restarted_server_reloads_namespace_caches_warm(self, tmp_path):
+        """A daemon restart over the same ``--cache-dir`` must come back
+        warm: the first push of the new process serves every PEC from the
+        per-namespace persisted cache."""
+        first = ReproServer(port=0, workers=2, cache_dir=tmp_path).start()
+        try:
+            cold = ServiceClient(first.url).run("tenant", VERIFY_PAYLOAD, timeout=120)
+            assert cold["result"]["document"]["incremental"]["pecs_recomputed"] == 2
+        finally:
+            first.stop()  # persists every namespace cache
+        assert (tmp_path / "tenant" / "plankton_cache.json").exists()
+
+        second = ReproServer(port=0, workers=2, cache_dir=tmp_path).start()
+        try:
+            warm = ServiceClient(second.url).run("tenant", VERIFY_PAYLOAD, timeout=120)
+            incremental = warm["result"]["document"]["incremental"]
+            assert incremental["pecs_from_cache"] == 2
+            assert incremental["pecs_recomputed"] == 0
+            assert warm["result"]["signature"] == cold["result"]["signature"]
+        finally:
+            second.stop()
+
+
+class TestSessionOptionsChange:
+    def test_options_change_mid_session_keeps_the_cache_safe(self, client):
+        """Pushing different engine options swaps the verifier but keeps the
+        fingerprint-keyed cache: results stay correct (fingerprints cover the
+        result-shaping fields), and unchanged work is still reused."""
+        client.run("opts", VERIFY_PAYLOAD, timeout=120)
+        changed = client.run(
+            "opts",
+            {"kind": "verify", "policies": [POLICY_SPEC], "options": {"max_failures": 0}},
+            timeout=120,
+        )
+        assert changed["state"] == "done"
+        network = base_network()
+        assert changed["result"]["signature"] == cold_signature(
+            network, options_spec={"max_failures": 0}
+        )
